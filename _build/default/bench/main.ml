@@ -1,0 +1,327 @@
+(* Benchmark harness.
+
+   Two jobs in one executable:
+
+   1. {b Reproduce the paper}: regenerate every table (1-4) and both
+      figures (3, 4) of the evaluation section, printing the simulated
+      rows next to the published values.
+
+   2. {b Bechamel benchmarks}: one [Test.make] per table and figure
+      (timing the regeneration of that artifact), protection-mode
+      ablations, plus micro-benchmarks of the core mechanisms (descriptor
+      serialization, mailbox bit-vector decode, sequence-number checks,
+      CRC-32, the event engine, grant flips).
+
+   Run with: dune exec bench/main.exe
+   Skip the full sweeps with: dune exec bench/main.exe -- --bench-only *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- Micro-benchmark subjects ---------- *)
+
+let test_engine_events =
+  Test.make ~name:"micro/engine-10k-events"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 1 to 10_000 do
+           ignore (Sim.Engine.schedule e ~delay:i (fun () -> ()))
+         done;
+         ignore (Sim.Engine.run_to_completion e)))
+
+let test_heap_churn =
+  Test.make ~name:"micro/heap-push-pop-1k"
+    (Staged.stage (fun () ->
+         let h = Sim.Heap.create ~compare:Int.compare in
+         for i = 0 to 999 do
+           Sim.Heap.push h ((i * 7919) land 1023)
+         done;
+         while not (Sim.Heap.is_empty h) do
+           ignore (Sim.Heap.pop h)
+         done))
+
+let test_crc32 =
+  let payload = Ethernet.Frame.materialize_payload ~seed:1 ~len:1500 in
+  Test.make ~name:"micro/crc32-1500B"
+    (Staged.stage (fun () -> ignore (Ethernet.Crc32.digest payload)))
+
+let test_materialize =
+  Test.make ~name:"micro/materialize-1500B"
+    (Staged.stage (fun () ->
+         ignore (Ethernet.Frame.materialize_payload ~seed:7 ~len:1500)))
+
+let test_descriptor_roundtrip =
+  let mem = Memory.Phys_mem.create ~total_pages:4 () in
+  let d = { Memory.Dma_desc.addr = 0x1000; len = 1500; flags = 1; seqno = 42 } in
+  Test.make ~name:"micro/descriptor-write-read"
+    (Staged.stage (fun () ->
+         Memory.Dma_desc.write mem ~at:64 d;
+         ignore (Memory.Dma_desc.read mem ~at:64)))
+
+let test_mailbox_decode =
+  let mb = Nic.Mailbox.create ~contexts:32 ~on_event:ignore in
+  let mappings =
+    Array.init 32 (fun ctx -> Bus.Mmio.map (Nic.Mailbox.region mb ~ctx))
+  in
+  Test.make ~name:"micro/mailbox-write-decode-32ctx"
+    (Staged.stage (fun () ->
+         for ctx = 0 to 31 do
+           Bus.Mmio.write32 mappings.(ctx) ~offset:20 ctx
+         done;
+         let rec drain () =
+           match Nic.Mailbox.next_event mb with
+           | Some (ctx, mbox) ->
+               Nic.Mailbox.clear_event mb ~ctx ~mbox;
+               drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let test_seqno_check =
+  Test.make ~name:"micro/seqno-check-1k"
+    (Staged.stage (fun () ->
+         let seq = ref 0 in
+         for _ = 1 to 1000 do
+           assert (Cdna.Seqno.continuous ~expected:!seq ~got:!seq);
+           seq := Cdna.Seqno.next !seq
+         done))
+
+let test_grant_flip =
+  Test.make ~name:"micro/grant-flip"
+    (Staged.stage
+       (let engine = Sim.Engine.create () in
+        let profile = Host.Profile.create () in
+        let cpu = Host.Cpu.create engine ~profile () in
+        let mem = Memory.Phys_mem.create ~total_pages:64 () in
+        let hyp = Xen.Hypervisor.create engine ~cpu ~mem () in
+        let a =
+          Xen.Hypervisor.create_domain hyp ~name:"a" ~kind:Xen.Domain.Guest
+            ~weight:256 ~mem_pages:8
+        in
+        let b =
+          Xen.Hypervisor.create_domain hyp ~name:"b" ~kind:Xen.Domain.Guest
+            ~weight:256 ~mem_pages:8
+        in
+        let page = List.hd (Xen.Domain.pages a) in
+        let here = ref a and there = ref b in
+        fun () ->
+          (match Xen.Grant_table.flip hyp ~src:!here ~dst:!there page with
+          | Ok () -> ()
+          | Error _ -> assert false);
+          let t = !here in
+          here := !there;
+          there := t))
+
+let test_bridge_route =
+  let b = Guestos.Bridge.create () in
+  let ports = Array.init 26 (fun i -> Guestos.Bridge.add_port b i) in
+  Array.iteri
+    (fun i p -> Guestos.Bridge.learn b p (Ethernet.Mac_addr.make i))
+    ports;
+  let frame =
+    Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 0)
+      ~dst:(Ethernet.Mac_addr.make 13) ~kind:Ethernet.Frame.Data ~flow:0 ~seq:0
+      ~payload_len:1500 ~payload_seed:0 ()
+  in
+  Test.make ~name:"micro/bridge-route-26-ports"
+    (Staged.stage (fun () ->
+         ignore (Guestos.Bridge.route b ~ingress:ports.(0) frame)))
+
+(* ---------- Macro subjects: one per table / figure ---------- *)
+
+(* Very short measurement windows keep one sample under a second; the
+   shapes the bechamel numbers describe are simulator costs, not the
+   paper's results (those are printed separately below). *)
+let bench_cfg base =
+  {
+    base with
+    Experiments.Config.warmup = Sim.Time.ms 10;
+    duration = Sim.Time.ms 20;
+  }
+
+let run_quietly cfg = ignore (Experiments.Run.run (bench_cfg cfg))
+
+let table1_subject () =
+  List.iter run_quietly
+    [
+      {
+        Experiments.Config.default with
+        Experiments.Config.system = Experiments.Config.Native;
+        nic = Experiments.Config.Intel;
+        nics = 6;
+      };
+      {
+        Experiments.Config.default with
+        Experiments.Config.system = Experiments.Config.Xen_sw;
+        nic = Experiments.Config.Intel;
+        nics = 6;
+      };
+    ]
+
+let t23_subject pattern () =
+  List.iter
+    (fun (system, nic) ->
+      run_quietly
+        {
+          Experiments.Config.default with
+          Experiments.Config.system;
+          nic;
+          pattern;
+        })
+    [
+      (Experiments.Config.Xen_sw, Experiments.Config.Intel);
+      (Experiments.Config.Xen_sw, Experiments.Config.Ricenic);
+      (Experiments.Config.Cdna_sys, Experiments.Config.Ricenic);
+    ]
+
+let table4_subject () =
+  List.iter
+    (fun (pattern, protection) ->
+      run_quietly
+        {
+          Experiments.Config.default with
+          Experiments.Config.system = Experiments.Config.Cdna_sys;
+          pattern;
+          protection;
+        })
+    [
+      (Workload.Pattern.Tx, Cdna.Cdna_costs.Full);
+      (Workload.Pattern.Tx, Cdna.Cdna_costs.Disabled);
+      (Workload.Pattern.Rx, Cdna.Cdna_costs.Full);
+      (Workload.Pattern.Rx, Cdna.Cdna_costs.Disabled);
+    ]
+
+let figure_subject pattern () =
+  List.iter
+    (fun (system, nic, guests) ->
+      run_quietly
+        {
+          Experiments.Config.default with
+          Experiments.Config.system;
+          nic;
+          pattern;
+          guests;
+        })
+    [
+      (Experiments.Config.Xen_sw, Experiments.Config.Intel, 1);
+      (Experiments.Config.Xen_sw, Experiments.Config.Intel, 8);
+      (Experiments.Config.Xen_sw, Experiments.Config.Intel, 24);
+      (Experiments.Config.Cdna_sys, Experiments.Config.Ricenic, 1);
+      (Experiments.Config.Cdna_sys, Experiments.Config.Ricenic, 8);
+      (Experiments.Config.Cdna_sys, Experiments.Config.Ricenic, 24);
+    ]
+
+let ablation_subject protection () =
+  run_quietly
+    {
+      Experiments.Config.default with
+      Experiments.Config.system = Experiments.Config.Cdna_sys;
+      protection;
+    }
+
+let macro_tests =
+  [
+    Test.make ~name:"table1/native-vs-xen-6nic" (Staged.stage table1_subject);
+    Test.make ~name:"table2/single-guest-tx"
+      (Staged.stage (t23_subject Workload.Pattern.Tx));
+    Test.make ~name:"table3/single-guest-rx"
+      (Staged.stage (t23_subject Workload.Pattern.Rx));
+    Test.make ~name:"table4/protection-on-off" (Staged.stage table4_subject);
+    Test.make ~name:"figure3/tx-scaling"
+      (Staged.stage (figure_subject Workload.Pattern.Tx));
+    Test.make ~name:"figure4/rx-scaling"
+      (Staged.stage (figure_subject Workload.Pattern.Rx));
+    Test.make ~name:"ablation/protection-full"
+      (Staged.stage (ablation_subject Cdna.Cdna_costs.Full));
+    Test.make ~name:"ablation/protection-iommu"
+      (Staged.stage (ablation_subject Cdna.Cdna_costs.Iommu));
+    Test.make ~name:"ablation/protection-disabled"
+      (Staged.stage (ablation_subject Cdna.Cdna_costs.Disabled));
+  ]
+
+let micro_tests =
+  [
+    test_engine_events;
+    test_heap_churn;
+    test_crc32;
+    test_materialize;
+    test_descriptor_roundtrip;
+    test_mailbox_decode;
+    test_seqno_check;
+    test_grant_flip;
+    test_bridge_route;
+  ]
+
+(* ---------- Bechamel driver ---------- *)
+
+let run_bechamel ~quota_s tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second quota_s)
+      ~kde:None ~stabilize:false ()
+  in
+  let raw = Hashtbl.create 16 in
+  List.iter
+    (fun test ->
+      Hashtbl.iter (Hashtbl.add raw) (Benchmark.all cfg instances test))
+    (List.map (fun t -> Test.make_grouped ~name:"" ~fmt:"%s%s" [ t ]) tests);
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (v :: _) -> v
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "  %-42s (no estimate)\n" name
+      else if ns > 1e9 then Printf.printf "  %-42s %8.2f s/run\n" name (ns /. 1e9)
+      else if ns > 1e6 then
+        Printf.printf "  %-42s %8.2f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then
+        Printf.printf "  %-42s %8.2f us/run\n" name (ns /. 1e3)
+      else Printf.printf "  %-42s %8.0f ns/run\n" name ns)
+    (List.sort compare rows);
+  flush stdout
+
+let () =
+  let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
+  if not bench_only then begin
+    print_endline
+      "==============================================================";
+    print_endline
+      " Paper reproduction: every table and figure of the evaluation";
+    print_endline
+      "==============================================================";
+    print_newline ();
+    Experiments.Tables.print_all ~quick:true ();
+    print_newline ();
+    Experiments.Figures.print_figure ~title:"Figure 3: transmit scaling"
+      ~pattern:Workload.Pattern.Tx
+      (Experiments.Figures.figure3 ~quick:true ());
+    print_newline ();
+    Experiments.Figures.print_figure ~title:"Figure 4: receive scaling"
+      ~pattern:Workload.Pattern.Rx
+      (Experiments.Figures.figure4 ~quick:true ());
+    print_newline ();
+    Experiments.Extension.print_all ~quick:true ();
+    print_newline ()
+  end;
+  print_endline "==============================================================";
+  print_endline " Bechamel: simulator wall-clock per artifact regeneration";
+  print_endline "==============================================================";
+  run_bechamel ~quota_s:2.0 macro_tests;
+  print_newline ();
+  print_endline "==============================================================";
+  print_endline " Bechamel: core-mechanism micro-benchmarks";
+  print_endline "==============================================================";
+  run_bechamel ~quota_s:0.5 micro_tests

@@ -1,0 +1,229 @@
+(* Command-line driver for the CDNA reproduction: run any single
+   experiment, any of the paper's tables, or the figure sweeps. *)
+
+open Cmdliner
+
+let quick =
+  let doc = "Shorten warm-up and measurement (~4x faster, noisier)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let system =
+  let doc = "System to simulate: native, xen, or cdna." in
+  let parse = function
+    | "native" -> Ok Experiments.Config.Native
+    | "xen" -> Ok Experiments.Config.Xen_sw
+    | "cdna" -> Ok Experiments.Config.Cdna_sys
+    | s -> Error (`Msg ("unknown system: " ^ s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (String.lowercase_ascii (Experiments.Config.system_name s))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Experiments.Config.Cdna_sys
+    & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc)
+
+let nic =
+  let doc = "NIC model: intel or ricenic." in
+  let parse = function
+    | "intel" -> Ok Experiments.Config.Intel
+    | "ricenic" -> Ok Experiments.Config.Ricenic
+    | s -> Error (`Msg ("unknown nic: " ^ s))
+  in
+  let print ppf n =
+    Format.pp_print_string ppf
+      (String.lowercase_ascii (Experiments.Config.nic_name n))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Experiments.Config.Ricenic
+    & info [ "nic" ] ~docv:"NIC" ~doc)
+
+let pattern =
+  let doc = "Traffic pattern: tx, rx, or bidir." in
+  let parse = function
+    | "tx" -> Ok Workload.Pattern.Tx
+    | "rx" -> Ok Workload.Pattern.Rx
+    | "bidir" -> Ok Workload.Pattern.Bidirectional
+    | s -> Error (`Msg ("unknown pattern: " ^ s))
+  in
+  let print ppf p = Workload.Pattern.pp ppf p in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Workload.Pattern.Tx
+    & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc)
+
+let guests =
+  Arg.(
+    value & opt int 1
+    & info [ "g"; "guests" ] ~docv:"N" ~doc:"Number of guest domains.")
+
+let nics =
+  Arg.(
+    value & opt int 2 & info [ "nics" ] ~docv:"N" ~doc:"Number of physical NICs.")
+
+let protection =
+  let doc = "CDNA DMA protection mode: full, disabled, or iommu." in
+  let parse = function
+    | "full" -> Ok Cdna.Cdna_costs.Full
+    | "disabled" -> Ok Cdna.Cdna_costs.Disabled
+    | "iommu" -> Ok Cdna.Cdna_costs.Iommu
+    | s -> Error (`Msg ("unknown protection mode: " ^ s))
+  in
+  let print ppf = function
+    | Cdna.Cdna_costs.Full -> Format.pp_print_string ppf "full"
+    | Cdna.Cdna_costs.Disabled -> Format.pp_print_string ppf "disabled"
+    | Cdna.Cdna_costs.Iommu -> Format.pp_print_string ppf "iommu"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Cdna.Cdna_costs.Full
+    & info [ "protection" ] ~docv:"MODE" ~doc)
+
+let materialize =
+  Arg.(
+    value & flag
+    & info [ "materialize" ]
+        ~doc:"Move and verify real payload bytes through simulated DMA.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Stream datapath trace events (NIC tx/rx, faults, interrupt \
+              decode) to stderr. Voluminous; combine with --quick.")
+
+(* ---- run one experiment ---- *)
+
+let run_cmd =
+  let run quick system nic pattern guests nics protection materialize seed
+      trace =
+    if trace then
+      Sim.Trace.set_sink (Some (Sim.Trace.formatter_sink Format.err_formatter));
+    let cfg =
+      {
+        Experiments.Config.default with
+        Experiments.Config.system;
+        nic;
+        pattern;
+        guests;
+        nics;
+        protection;
+        materialize;
+        seed;
+      }
+    in
+    let m = Experiments.Run.run ~quick cfg in
+    Format.printf "%a@." Experiments.Run.pp m;
+    Format.printf
+      "drops=%d faults=%d integrity_failures=%d fairness=%.3f sim_events=%d@."
+      m.Experiments.Run.rx_drops m.Experiments.Run.faults
+      m.Experiments.Run.integrity_failures m.Experiments.Run.fairness
+      m.Experiments.Run.events_fired
+  in
+  let doc = "Run a single experiment and print its measurement." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ quick $ system $ nic $ pattern $ guests $ nics $ protection
+      $ materialize $ seed $ trace)
+
+(* ---- tables ---- *)
+
+let table_cmd =
+  let run quick which csv =
+    match (which, csv) with
+    | 1, false ->
+        Experiments.Tables.print_table1 (Experiments.Tables.table1 ~quick ())
+    | 1, true ->
+        print_string
+          (Experiments.Tables.csv_table1 (Experiments.Tables.table1 ~quick ()))
+    | 2, false ->
+        Experiments.Tables.print_table23
+          ~title:"Table 2: transmit, single guest, 2 NICs"
+          (Experiments.Tables.table2 ~quick ())
+    | 2, true ->
+        print_string
+          (Experiments.Tables.csv_table23 (Experiments.Tables.table2 ~quick ()))
+    | 3, false ->
+        Experiments.Tables.print_table23
+          ~title:"Table 3: receive, single guest, 2 NICs"
+          (Experiments.Tables.table3 ~quick ())
+    | 3, true ->
+        print_string
+          (Experiments.Tables.csv_table23 (Experiments.Tables.table3 ~quick ()))
+    | 4, false ->
+        Experiments.Tables.print_table4 (Experiments.Tables.table4 ~quick ())
+    | 4, true ->
+        print_string
+          (Experiments.Tables.csv_table23 (Experiments.Tables.table4 ~quick ()))
+    | 0, false -> Experiments.Tables.print_all ~quick ()
+    | 0, true -> Printf.eprintf "--csv needs a specific table number\n"
+    | n, _ -> Printf.eprintf "no such table: %d (use 1-4, or 0 for all)\n" n
+  in
+  let which =
+    Arg.(
+      value & pos 0 int 0
+      & info [] ~docv:"N" ~doc:"Table number 1-4 (0 or omitted = all).")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows.") in
+  let doc = "Reproduce one of the paper's tables (or all)." in
+  Cmd.v (Cmd.info "table" ~doc) Term.(const run $ quick $ which $ csv)
+
+(* ---- figures ---- *)
+
+let figure_cmd =
+  let run quick which csv =
+    let print_or_csv ~title ~pattern points =
+      if csv then print_string (Experiments.Figures.csv points)
+      else Experiments.Figures.print_figure ~title ~pattern points
+    in
+    match which with
+    | 3 ->
+        print_or_csv ~title:"Figure 3: transmit scaling"
+          ~pattern:Workload.Pattern.Tx
+          (Experiments.Figures.figure3 ~quick ())
+    | 4 ->
+        print_or_csv ~title:"Figure 4: receive scaling"
+          ~pattern:Workload.Pattern.Rx
+          (Experiments.Figures.figure4 ~quick ())
+    | n -> Printf.eprintf "no such figure: %d (use 3 or 4)\n" n
+  in
+  let which =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure 3 or 4.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV series.") in
+  let doc = "Reproduce one of the paper's scaling figures." in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ quick $ which $ csv)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run quick =
+    print_endline "Checking the paper's headline claims against the simulation:";
+    print_newline ();
+    let ok = Experiments.Claims.print (Experiments.Claims.verify ~quick ()) in
+    exit (if ok then 0 else 1)
+  in
+  let doc = "Self-check: verify the paper's headline claims hold (exit 1 if not)." in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ quick)
+
+(* ---- extensions ---- *)
+
+let extension_cmd =
+  let run quick = Experiments.Extension.print_all ~quick () in
+  let doc = "Run the beyond-the-paper extension experiments (latency, bidirectional)." in
+  Cmd.v (Cmd.info "extension" ~doc) Term.(const run $ quick)
+
+let main =
+  let doc =
+    "Reproduction of 'Concurrent Direct Network Access for Virtual Machine \
+     Monitors' (HPCA 2007)"
+  in
+  Cmd.group (Cmd.info "cdna_sim" ~doc) [ run_cmd; table_cmd; figure_cmd; extension_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval main)

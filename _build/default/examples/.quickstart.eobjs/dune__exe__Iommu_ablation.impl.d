@@ -1,0 +1,1 @@
+examples/iommu_ablation.ml: Cdna Experiments Host List Workload

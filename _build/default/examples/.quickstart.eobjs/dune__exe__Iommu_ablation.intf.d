@@ -1,0 +1,1 @@
+examples/iommu_ablation.mli:

@@ -1,0 +1,1 @@
+examples/live_migration.ml: Bus Cdna Ethernet Experiments Guestos Host List Memory Printf Sim Workload Xen

@@ -1,0 +1,1 @@
+examples/protection_demo.ml: Bus Bytes Cdna Char Ethernet Host List Memory Nic Printf Sim Xen

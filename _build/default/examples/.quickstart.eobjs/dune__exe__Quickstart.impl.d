@@ -1,0 +1,1 @@
+examples/quickstart.ml: Experiments Format Host Workload

@@ -1,0 +1,1 @@
+examples/scaling_sweep.ml: Experiments Format Host List Workload

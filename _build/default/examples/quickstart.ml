@@ -1,0 +1,43 @@
+(* Quickstart: simulate one CDNA machine with two guests transmitting over
+   two NICs, and print what the paper's evaluation would report for it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "CDNA quickstart: 2 guests, 2 NICs, transmit workload";
+  print_endline "----------------------------------------------------";
+  let config =
+    {
+      Experiments.Config.default with
+      Experiments.Config.system = Experiments.Config.Cdna_sys;
+      guests = 2;
+      pattern = Workload.Pattern.Tx;
+    }
+  in
+  let m = Experiments.Run.run ~quick:true config in
+  Format.printf "aggregate transmit goodput : %.0f Mb/s@."
+    m.Experiments.Run.tx_mbps;
+  let p = m.Experiments.Run.profile in
+  Format.printf "execution profile          : %a@." Host.Profile.pp_report p;
+  Format.printf "virtual interrupts/s       : %.0f (guests), %.0f (driver)@."
+    m.Experiments.Run.guest_virq_per_sec m.Experiments.Run.driver_virq_per_sec;
+  Format.printf "protection faults          : %d@." m.Experiments.Run.faults;
+  print_newline ();
+  (* The same machine under Xen's software I/O virtualization, for
+     comparison — the contrast is the point of the paper. *)
+  print_endline "Same workload under Xen software I/O virtualization:";
+  let xen_config =
+    {
+      config with
+      Experiments.Config.system = Experiments.Config.Xen_sw;
+      nic = Experiments.Config.Intel;
+    }
+  in
+  let xm = Experiments.Run.run ~quick:true xen_config in
+  Format.printf "aggregate transmit goodput : %.0f Mb/s@."
+    xm.Experiments.Run.tx_mbps;
+  Format.printf "execution profile          : %a@." Host.Profile.pp_report
+    xm.Experiments.Run.profile;
+  Format.printf "@.CDNA advantage: %.2fx the throughput at %.0f%% idle.@."
+    (m.Experiments.Run.tx_mbps /. xm.Experiments.Run.tx_mbps)
+    p.Host.Profile.idle

@@ -1,0 +1,1 @@
+lib/bus/dma_engine.ml: Bytes Memory Sim

@@ -1,0 +1,1 @@
+lib/bus/dma_engine.mli: Bytes Memory Sim

@@ -1,0 +1,1 @@
+lib/bus/mmio.ml: Printf

@@ -1,0 +1,95 @@
+type fault = [ `Bad_range | `Iommu_denied of Memory.Addr.pfn ]
+
+type t = {
+  engine : Sim.Engine.t;
+  mem : Memory.Phys_mem.t;
+  bandwidth_bps : int;
+  latency : Sim.Time.t;
+  mutable iommu : Memory.Iommu.t option;
+  mutable busy_until : Sim.Time.t;
+  mutable transfers : int;
+  mutable bytes_moved : int;
+  mutable busy_time : Sim.Time.t;
+}
+
+let create engine ~mem ?(bandwidth_bps = 8_500_000_000) ?(latency = Sim.Time.ns 600) () =
+  if bandwidth_bps <= 0 then invalid_arg "Dma_engine.create: bad bandwidth";
+  {
+    engine;
+    mem;
+    bandwidth_bps;
+    latency;
+    iommu = None;
+    busy_until = Sim.Time.zero;
+    transfers = 0;
+    bytes_moved = 0;
+    busy_time = Sim.Time.zero;
+  }
+
+let set_iommu t iommu = t.iommu <- iommu
+
+let in_range t ~addr ~len =
+  len >= 0 && addr >= 0
+  && addr + len <= Memory.Phys_mem.total_pages t.mem * Memory.Addr.page_size
+
+let iommu_check t ~context ~addr ~len =
+  match t.iommu with
+  | None -> Ok ()
+  | Some iommu ->
+      let pages = Memory.Addr.pages_spanned ~addr ~len in
+      let rec check = function
+        | [] -> Ok ()
+        | pfn :: rest ->
+            if Memory.Iommu.allowed iommu ~context pfn then check rest
+            else Error (`Iommu_denied pfn)
+      in
+      check pages
+
+(* Per-transaction arbitration overhead occupying the bus; the request
+   latency itself is pipelined (it delays completion but not the next
+   transfer). *)
+let arbitration = Sim.Time.ns 40
+
+let submit t ~len action =
+  let now = Sim.Engine.now t.engine in
+  let start = Sim.Time.max now t.busy_until in
+  let occupancy =
+    Sim.Time.add arbitration
+      (Sim.Time.bits_time ~bits:(len * 8) ~rate_bps:t.bandwidth_bps)
+  in
+  let bus_free = Sim.Time.add start occupancy in
+  t.busy_until <- bus_free;
+  t.busy_time <- Sim.Time.add t.busy_time occupancy;
+  t.transfers <- t.transfers + 1;
+  t.bytes_moved <- t.bytes_moved + len;
+  ignore (Sim.Engine.schedule_at t.engine (Sim.Time.add bus_free t.latency) action)
+
+let read t ~context ~addr ~len k =
+  if not (in_range t ~addr ~len) then k (Error `Bad_range)
+  else
+    match iommu_check t ~context ~addr ~len with
+    | Error e -> k (Error (e :> fault))
+    | Ok () ->
+        submit t ~len (fun () -> k (Ok (Memory.Phys_mem.read t.mem ~addr ~len)))
+
+let write t ~context ~addr ~data k =
+  let len = Bytes.length data in
+  if not (in_range t ~addr ~len) then k (Error `Bad_range)
+  else
+    match iommu_check t ~context ~addr ~len with
+    | Error e -> k (Error (e :> fault))
+    | Ok () ->
+        submit t ~len (fun () ->
+            Memory.Phys_mem.write t.mem ~addr data;
+            k (Ok ()))
+
+let access t ~context ~addr ~len k =
+  if not (in_range t ~addr ~len) then k (Error `Bad_range)
+  else
+    match iommu_check t ~context ~addr ~len with
+    | Error e -> k (Error (e :> fault))
+    | Ok () -> submit t ~len (fun () -> k (Ok ()))
+
+let transfers t = t.transfers
+let bytes_moved t = t.bytes_moved
+let busy_time t = t.busy_time

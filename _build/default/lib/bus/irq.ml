@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  mutable handler : (unit -> unit) option;
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ~name = { name; handler = None; count = 0; dropped = 0 }
+let name t = t.name
+let set_handler t f = t.handler <- Some f
+
+let assert_line t =
+  match t.handler with
+  | Some f ->
+      t.count <- t.count + 1;
+      f ()
+  | None -> t.dropped <- t.dropped + 1
+
+let count t = t.count
+let dropped t = t.dropped
+let reset_count t = t.count <- 0

@@ -1,0 +1,1 @@
+lib/core/cdna_costs.ml: Sim

@@ -1,0 +1,1 @@
+lib/core/cdna_costs.mli: Sim

@@ -1,0 +1,1 @@
+lib/core/cnic.ml: Bus Intr_vector Nic Sim

@@ -1,0 +1,1 @@
+lib/core/cnic.mli: Bus Ethernet Intr_vector Memory Nic Sim

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Cdna_costs Cnic Ethernet Guestos Hyp List Memory Nic Option Queue Sim Xen

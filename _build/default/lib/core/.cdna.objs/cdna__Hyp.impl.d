@@ -1,0 +1,1 @@
+lib/core/hyp.ml: Array Bus Cdna_costs Cnic Ethernet Host Intr_vector List Memory Nic Printf Queue Seqno Sim Xen

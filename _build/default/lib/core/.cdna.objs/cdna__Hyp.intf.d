@@ -1,0 +1,1 @@
+lib/core/hyp.mli: Cdna_costs Cnic Ethernet Host Memory Nic Sim Xen

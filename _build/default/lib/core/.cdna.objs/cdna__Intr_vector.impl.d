@@ -1,0 +1,1 @@
+lib/core/intr_vector.ml: Bus Bytes Char List Memory

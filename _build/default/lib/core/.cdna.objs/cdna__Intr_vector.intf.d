@@ -1,0 +1,1 @@
+lib/core/intr_vector.mli: Bus Memory

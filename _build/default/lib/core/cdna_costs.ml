@@ -1,0 +1,22 @@
+type protection = Full | Disabled | Iommu
+
+type t = {
+  hypercall_fixed : Sim.Time.t;
+  validate_per_desc : Sim.Time.t;
+  unpin_per_desc : Sim.Time.t;
+  iommu_per_desc : Sim.Time.t;
+  intr_decode_fixed : Sim.Time.t;
+  map_context : Sim.Time.t;
+  pio_doorbell : Sim.Time.t;
+}
+
+let default =
+  {
+    hypercall_fixed = Sim.Time.ns 900;
+    validate_per_desc = Sim.Time.ns 420;
+    unpin_per_desc = Sim.Time.ns 90;
+    iommu_per_desc = Sim.Time.ns 220;
+    intr_decode_fixed = Sim.Time.ns 600;
+    map_context = Sim.Time.us 20;
+    pio_doorbell = Sim.Time.ns 120;
+  }

@@ -1,0 +1,118 @@
+let num_contexts = 32
+
+let default_config =
+  {
+    Nic.Nic_config.ricenic with
+    Nic.Nic_config.name = "CDNA-RiceNIC";
+    seqno_checking = true;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  dp : Nic.Dp.t;
+  dma_context_base : int;
+  firmware : Nic.Firmware.t;
+  irq : Bus.Irq.t;
+  intr : Intr_vector.t;
+  coalescer : Nic.Coalesce.t;
+  mutable dirty : int; (* contexts with new completion state *)
+  mutable fault_handler : ctx:int -> Nic.Dp.dir -> Nic.Dp.fault -> unit;
+  mutable raised : int;
+}
+
+(* Flush the dirty-context set as one interrupt bit vector; if the
+   circular buffer is full, hold the interrupt and retry shortly. *)
+let rec flush t =
+  if t.dirty <> 0 then begin
+    let bits = t.dirty in
+    let posted =
+      Intr_vector.try_post t.intr ~bits ~on_done:(fun () ->
+          t.raised <- t.raised + 1;
+          Bus.Irq.assert_line t.irq)
+    in
+    if posted then t.dirty <- 0
+    else
+      ignore (Sim.Engine.schedule t.engine ~delay:(Sim.Time.us 5) (fun () -> flush t))
+  end
+
+let create engine ~mem ~dma ?(config = default_config) ~irq ~dma_context_base
+    ~intr_base ?(intr_slots = 256) () =
+  let self = ref None in
+  let notify ~ctx =
+    match !self with
+    | None -> ()
+    | Some t ->
+        t.dirty <- t.dirty lor (1 lsl ctx);
+        Nic.Coalesce.request t.coalescer
+  in
+  let on_fault ~ctx dir fault =
+    match !self with Some t -> t.fault_handler ~ctx dir fault | None -> ()
+  in
+  let dp =
+    Nic.Dp.create engine ~mem ~dma ~config ~contexts:num_contexts
+      ~dma_context_base ~notify ~on_fault ()
+  in
+  let firmware =
+    Nic.Firmware.create engine ~dp
+      ~process_cost:config.Nic.Nic_config.firmware_delay ()
+  in
+  let intr =
+    Intr_vector.create ~mem ~dma ~base:intr_base ~slots:intr_slots
+      ~dma_context:(dma_context_base + num_contexts)
+  in
+  let coalescer =
+    Nic.Coalesce.create engine ~min_gap:config.Nic.Nic_config.intr_min_gap
+      ~fire:(fun () ->
+        match !self with Some t -> flush t | None -> ())
+  in
+  let t =
+    {
+      engine;
+      dp;
+      dma_context_base;
+      firmware;
+      irq;
+      intr;
+      coalescer;
+      dirty = 0;
+      fault_handler = (fun ~ctx:_ _ _ -> ());
+      raised = 0;
+    }
+  in
+  self := Some t;
+  t
+
+let attach_link t link ~side = Nic.Dp.attach_link t.dp link ~side
+let dp t = t.dp
+let firmware t = t.firmware
+let irq t = t.irq
+let intr_vector t = t.intr
+let dma t = Nic.Dp.dma t.dp
+let desc_layout t = (Nic.Dp.config t.dp).Nic.Nic_config.desc_layout
+let dma_context_of t ~ctx = t.dma_context_base + ctx
+let intr_dma_context t = t.dma_context_base + num_contexts
+
+let activate_context t ~ctx ~mac = Nic.Dp.activate t.dp ~ctx ~mac
+let revoke_context t ~ctx = Nic.Dp.deactivate t.dp ~ctx
+
+let set_expected_seqno t ~ctx ~tx ~rx =
+  Nic.Dp.set_expected_seqno t.dp ~ctx ~tx ~rx
+
+let free_context t =
+  let rec scan i =
+    if i >= num_contexts then None
+    else if not (Nic.Dp.is_active t.dp ~ctx:i) then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let region t ~ctx = Nic.Firmware.region t.firmware ~ctx
+let driver_if t ~ctx ~mapping = Nic.Firmware.driver_if t.firmware ~ctx ~mapping
+let set_tx_ring t ~ctx ring = Nic.Dp.set_tx_ring t.dp ~ctx ring
+let set_rx_ring t ~ctx ring = Nic.Dp.set_rx_ring t.dp ~ctx ring
+let set_status_addr t ~ctx addr = Nic.Dp.set_status_addr t.dp ~ctx addr
+let set_fault_handler t f = t.fault_handler <- f
+let set_uncongested_hook t f = Nic.Dp.set_uncongested_hook t.dp f
+let rx_congested t = Nic.Dp.rx_congested t.dp
+let stats t = Nic.Dp.stats t.dp
+let interrupts_raised t = t.raised

@@ -1,0 +1,435 @@
+type dir = Tx | Rx
+
+type enqueue_error =
+  [ `Not_owner of Memory.Addr.pfn | `Ring_full | `Ring_unregistered | `Revoked ]
+
+(* Hypervisor-side state of one ring of one context. *)
+type ring_state = {
+  mutable ring : Nic.Ring.t option;
+  mutable prod : int;
+  mutable seq : int;
+  (* Pages pinned per enqueued descriptor, unpinned lazily when later
+     enqueues observe the consumer index has passed them. *)
+  pins : (int * Memory.Addr.pfn list) Queue.t;
+  mutable pinned : int;
+}
+
+type ctx_handle = {
+  nic : Cnic.t;
+  ctx : int;
+  guest : Xen.Domain.t;
+  isr_cost : Sim.Time.t;
+  mapping : Bus.Mmio.mapping;
+  hw : Nic.Driver_if.t;
+  chan : Xen.Event_channel.t;
+  handler : (unit -> unit) ref;
+  mutable revoked : bool;
+  tx : ring_state;
+  rx : ring_state;
+  mutable status_addr : Memory.Addr.t option;
+}
+
+type t = {
+  xen : Xen.Hypervisor.t;
+  costs : Cdna_costs.t;
+  protection : Cdna_costs.protection;
+  mutable iommu : Memory.Iommu.t option;
+  mutable nics : (Cnic.t * ctx_handle option array) list;
+  mutable faults : (Host.Category.domain_id * int) list;
+  mutable enqueue_calls : int;
+}
+
+let trace t fmt_msg =
+  Sim.Trace.emit
+    ~time:(Sim.Engine.now (Xen.Hypervisor.engine t.xen))
+    ~tag:"cdna-hyp" fmt_msg
+
+let create xen ?(costs = Cdna_costs.default) ?(protection = Cdna_costs.Full) () =
+  { xen; costs; protection; iommu = None; nics = []; faults = []; enqueue_calls = 0 }
+
+let protection t = t.protection
+let costs t = t.costs
+let xen t = t.xen
+let mem t = Xen.Hypervisor.mem t.xen
+
+let slots_of t nic =
+  match List.find_opt (fun (n, _) -> n == nic) t.nics with
+  | Some (_, slots) -> slots
+  | None -> invalid_arg "Cdna.Hyp: NIC not registered"
+
+let handle_of t nic ~ctx =
+  let slots = slots_of t nic in
+  if ctx < 0 || ctx >= Array.length slots then None else slots.(ctx)
+
+(* IOMMU table entries are keyed by the DMA context the NIC transfers
+   with: its dma_context_base + hardware context id. *)
+let iommu_ctx h = Cnic.dma_context_of h.nic ~ctx:h.ctx
+
+let add_nic t nic =
+  if List.exists (fun (n, _) -> n == nic) t.nics then ()
+  else begin
+    t.nics <- (nic, Array.make Cnic.num_contexts None) :: t.nics;
+    (match t.protection with
+    | Cdna_costs.Iommu ->
+        let iommu =
+          match t.iommu with
+          | Some i -> i
+          | None ->
+              let i = Memory.Iommu.create () in
+              t.iommu <- Some i;
+              i
+        in
+        Bus.Dma_engine.set_iommu (Cnic.dma nic) (Some iommu);
+        (* The interrupt bit-vector buffer (hypervisor memory) must stay
+           reachable by the NIC's interrupt-delivery DMA. *)
+        let intr = Cnic.intr_vector nic in
+        let first = Memory.Addr.pfn_of (Intr_vector.base intr) in
+        let last =
+          Memory.Addr.pfn_of
+            (Intr_vector.base intr + (Intr_vector.slots intr * 8) - 1)
+        in
+        for pfn = first to last do
+          Memory.Iommu.grant iommu ~context:(Cnic.intr_dma_context nic) pfn
+        done
+    | Cdna_costs.Full | Cdna_costs.Disabled -> ());
+    (* Fault reports from the NIC are guest-specific (paper 3.3). *)
+    Cnic.set_fault_handler nic (fun ~ctx _dir _fault ->
+        match handle_of t nic ~ctx with
+        | Some h -> t.faults <- (Xen.Domain.id h.guest, ctx) :: t.faults
+        | None -> ());
+    (* Physical interrupt -> drain bit vectors -> virtual interrupts. *)
+    Xen.Hypervisor.route_irq t.xen (Cnic.irq nic) (fun () ->
+        Host.Cpu.post_irq (Xen.Hypervisor.cpu t.xen)
+          ~cost:t.costs.Cdna_costs.intr_decode_fixed (fun () ->
+            let vectors = Intr_vector.drain (Cnic.intr_vector nic) in
+            let bits = List.fold_left ( lor ) 0 vectors in
+            trace t (fun () ->
+                Printf.sprintf "interrupt: %d vectors, bits=0x%x"
+                  (List.length vectors) bits);
+            let slots = slots_of t nic in
+            Array.iteri
+              (fun ctx handle ->
+                if bits land (1 lsl ctx) <> 0 then
+                  match handle with
+                  | Some h when not h.revoked ->
+                      Xen.Event_channel.notify_from_hypervisor h.chan
+                  | Some _ | None -> ())
+              slots))
+  end
+
+let fresh_ring_state () =
+  { ring = None; prod = 0; seq = 0; pins = Queue.create (); pinned = 0 }
+
+let assign_context t ~nic ~guest ~mac ~isr_cost =
+  let slots = slots_of t nic in
+  match Cnic.free_context nic with
+  | None -> Error `No_free_context
+  | Some ctx ->
+      let mapping = Bus.Mmio.map (Cnic.region nic ~ctx) in
+      let handler = ref (fun () -> ()) in
+      let chan =
+        Xen.Event_channel.create t.xen ~target:guest ~isr_cost
+          ~handler:(fun () -> !handler ())
+      in
+      Cnic.activate_context nic ~ctx ~mac;
+      Cnic.set_expected_seqno nic ~ctx ~tx:0 ~rx:0;
+      let h =
+        {
+          nic;
+          ctx;
+          guest;
+          isr_cost;
+          mapping;
+          hw = Cnic.driver_if nic ~ctx ~mapping;
+          chan;
+          handler;
+          revoked = false;
+          tx = fresh_ring_state ();
+          rx = fresh_ring_state ();
+          status_addr = None;
+        }
+      in
+      slots.(ctx) <- Some h;
+      Ok h
+
+let set_event_handler h f = h.handler := f
+
+let unpin_all t h rs =
+  let mem = mem t in
+  Queue.iter
+    (fun (_, pfns) ->
+      List.iter
+        (fun pfn ->
+          match t.protection with
+          | Cdna_costs.Full -> Memory.Phys_mem.put_ref mem pfn
+          | Cdna_costs.Iommu -> (
+              match t.iommu with
+              | Some iommu ->
+                  Memory.Iommu.revoke iommu ~context:(iommu_ctx h) pfn
+              | None -> ())
+          | Cdna_costs.Disabled -> ())
+        pfns)
+    rs.pins;
+  Queue.clear rs.pins;
+  rs.pinned <- 0
+
+let revoke t h =
+  if not h.revoked then begin
+    h.revoked <- true;
+    Bus.Mmio.revoke h.mapping;
+    Cnic.revoke_context h.nic ~ctx:h.ctx;
+    unpin_all t h h.tx;
+    unpin_all t h h.rx;
+    let slots = slots_of t h.nic in
+    slots.(h.ctx) <- None
+  end
+
+let migrate t h ~to_nic =
+  let mac =
+    match Nic.Dp.mac_of (Cnic.dp h.nic) ~ctx:h.ctx with
+    | Some mac -> mac
+    | None -> Ethernet.Mac_addr.make 0 (* already revoked; keep a MAC *)
+  in
+  let handler = !(h.handler) in
+  revoke t h;
+  match
+    assign_context t ~nic:to_nic ~guest:h.guest ~mac ~isr_cost:h.isr_cost
+  with
+  | Error `No_free_context -> Error `No_free_context
+  | Ok fresh ->
+      trace t (fun () ->
+          Printf.sprintf "migrated dom%d ctx%d -> ctx%d"
+            (Xen.Domain.id h.guest) h.ctx fresh.ctx);
+      set_event_handler fresh handler;
+      Ok fresh
+
+let is_revoked h = h.revoked
+let guest_of h = h.guest
+let ctx_id h = h.ctx
+let nic_of h = h.nic
+let driver_if h = h.hw
+let virq_deliveries h = Xen.Event_channel.deliveries h.chan
+
+(* ---------- Hypercalls ---------- *)
+
+let ring_state h = function Tx -> h.tx | Rx -> h.rx
+
+let validate_pages t h pfns =
+  let mem = mem t in
+  let rec check = function
+    | [] -> Ok ()
+    | pfn :: rest ->
+        if Memory.Phys_mem.owned_by mem pfn (Xen.Domain.id h.guest) then
+          check rest
+        else Error (`Not_owner pfn)
+  in
+  check pfns
+
+let register_ring t h dir ~base ~slots k =
+  let cost = t.costs.Cdna_costs.map_context in
+  Xen.Hypervisor.hypercall t.xen ~from:h.guest ~cost (fun () ->
+      if h.revoked then k (Error `Revoked)
+      else begin
+        (* The NIC told us its descriptor format (paper 3.4); rings are
+           laid out with its stride. *)
+        let layout = Cnic.desc_layout h.nic in
+        let ring =
+          Nic.Ring.create ~base ~slots
+            ~desc_bytes:layout.Memory.Desc_layout.size ()
+        in
+        if slots > Seqno.max_ring_slots then
+          invalid_arg "Cdna.Hyp.register_ring: ring too large for seqno space";
+        let pfns =
+          Memory.Addr.pages_spanned ~addr:base
+            ~len:(Nic.Ring.size_bytes ring)
+        in
+        match
+          if t.protection = Cdna_costs.Disabled then Ok ()
+          else validate_pages t h pfns
+        with
+        | Error e -> k (Error e)
+        | Ok () ->
+            let rs = ring_state h dir in
+            rs.ring <- Some ring;
+            rs.prod <- 0;
+            rs.seq <- 0;
+            (* The hypervisor, not the guest, programs the NIC. *)
+            (match dir with
+            | Tx -> Cnic.set_tx_ring h.nic ~ctx:h.ctx ring
+            | Rx -> Cnic.set_rx_ring h.nic ~ctx:h.ctx ring);
+            (match t.protection, t.iommu with
+            | Cdna_costs.Iommu, Some iommu ->
+                List.iter
+                  (fun pfn -> Memory.Iommu.grant iommu ~context:(iommu_ctx h) pfn)
+                  pfns
+            | _ -> ());
+            k (Ok ())
+      end)
+
+let register_status t h ~addr k =
+  let cost = t.costs.Cdna_costs.map_context in
+  Xen.Hypervisor.hypercall t.xen ~from:h.guest ~cost (fun () ->
+      if h.revoked then k (Error `Revoked)
+      else
+        match
+          if t.protection = Cdna_costs.Disabled then Ok ()
+          else validate_pages t h [ Memory.Addr.pfn_of addr ]
+        with
+        | Error e -> k (Error e)
+        | Ok () ->
+            h.status_addr <- Some addr;
+            Cnic.set_status_addr h.nic ~ctx:h.ctx addr;
+            (match t.protection, t.iommu with
+            | Cdna_costs.Iommu, Some iommu ->
+                Memory.Iommu.grant iommu ~context:(iommu_ctx h)
+                  (Memory.Addr.pfn_of addr)
+            | _ -> ());
+            k (Ok ()))
+
+(* Consumer index for a direction, as last written back by the NIC. *)
+let consumer t h dir =
+  match h.status_addr with
+  | None -> 0
+  | Some addr -> (
+      match dir with
+      | Tx -> Memory.Phys_mem.read_u32 (mem t) ~addr
+      | Rx -> Memory.Phys_mem.read_u32 (mem t) ~addr:(addr + 4))
+
+(* Lazily drop pins for descriptors the NIC has consumed (paper 3.3). *)
+let process_completions t h dir =
+  let rs = ring_state h dir in
+  let cons = consumer t h dir in
+  let unpinned = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt rs.pins with
+    | Some (idx, pfns) when idx < cons ->
+        ignore (Queue.pop rs.pins);
+        List.iter
+          (fun pfn ->
+            incr unpinned;
+            match t.protection with
+            | Cdna_costs.Full -> Memory.Phys_mem.put_ref (mem t) pfn
+            | Cdna_costs.Iommu -> (
+                match t.iommu with
+                | Some iommu ->
+                    Memory.Iommu.revoke iommu ~context:(iommu_ctx h) pfn
+                | None -> ())
+            | Cdna_costs.Disabled -> ())
+          pfns;
+        rs.pinned <- rs.pinned - List.length pfns
+    | Some _ | None -> continue := false
+  done;
+  !unpinned
+
+let enqueue_cost t ~n_desc ~n_unpin =
+  let c = t.costs in
+  match t.protection with
+  | Cdna_costs.Full ->
+      Sim.Time.add c.Cdna_costs.hypercall_fixed
+        (Sim.Time.add
+           (Sim.Time.mul_int c.Cdna_costs.validate_per_desc n_desc)
+           (Sim.Time.mul_int c.Cdna_costs.unpin_per_desc n_unpin))
+  | Cdna_costs.Iommu ->
+      Sim.Time.add c.Cdna_costs.hypercall_fixed
+        (Sim.Time.mul_int c.Cdna_costs.iommu_per_desc (n_desc + n_unpin))
+  | Cdna_costs.Disabled ->
+      (* Direct ring writes by the guest; no hypervisor involvement. The
+         small per-descriptor cost models the stores themselves. *)
+      Sim.Time.mul_int (Sim.Time.ns 60) n_desc
+
+let enqueue t h dir descs k =
+  let n_desc = List.length descs in
+  (* Estimate the unpin work for the cost; the body recomputes exactly.
+     (The estimate equals the final count because nothing else drains the
+     pin queue between here and the body.) *)
+  let n_unpin_est =
+    if t.protection = Cdna_costs.Disabled then 0
+    else begin
+      let rs = ring_state h dir in
+      let cons = consumer t h dir in
+      Queue.fold
+        (fun acc (idx, pfns) -> if idx < cons then acc + List.length pfns else acc)
+        0 rs.pins
+    end
+  in
+  let cost = enqueue_cost t ~n_desc ~n_unpin:n_unpin_est in
+  let body () =
+    t.enqueue_calls <- t.enqueue_calls + 1;
+    if h.revoked then k (Error `Revoked)
+    else begin
+      let rs = ring_state h dir in
+      match rs.ring with
+      | None -> k (Error `Ring_unregistered)
+      | Some ring ->
+          ignore (process_completions t h dir);
+          let cons = consumer t h dir in
+          if rs.prod + n_desc - cons > Nic.Ring.slots ring then
+            k (Error `Ring_full)
+          else begin
+            (* Validate the whole batch first: all-or-nothing. *)
+            let validation =
+              if t.protection = Cdna_costs.Disabled then Ok ()
+              else
+                List.fold_left
+                  (fun acc (d : Memory.Dma_desc.t) ->
+                    match acc with
+                    | Error _ -> acc
+                    | Ok () ->
+                        validate_pages t h
+                          (Memory.Addr.pages_spanned ~addr:d.addr ~len:d.len))
+                  (Ok ()) descs
+            in
+            match validation with
+            | Error e ->
+                trace t (fun () ->
+                    Printf.sprintf "enqueue rejected ctx=%d dom=%d" h.ctx
+                      (Xen.Domain.id h.guest));
+                k (Error e)
+            | Ok () ->
+                List.iter
+                  (fun (d : Memory.Dma_desc.t) ->
+                    let idx = rs.prod in
+                    let pfns =
+                      Memory.Addr.pages_spanned ~addr:d.addr ~len:d.len
+                    in
+                    (match t.protection with
+                    | Cdna_costs.Full ->
+                        List.iter (Memory.Phys_mem.get_ref (mem t)) pfns;
+                        Queue.push (idx, pfns) rs.pins;
+                        rs.pinned <- rs.pinned + List.length pfns
+                    | Cdna_costs.Iommu ->
+                        (match t.iommu with
+                        | Some iommu ->
+                            List.iter
+                              (fun pfn ->
+                                Memory.Iommu.grant iommu
+                                  ~context:(iommu_ctx h) pfn)
+                              pfns
+                        | None -> ());
+                        Queue.push (idx, pfns) rs.pins;
+                        rs.pinned <- rs.pinned + List.length pfns
+                    | Cdna_costs.Disabled -> ());
+                    let stamped = { d with Memory.Dma_desc.seqno = rs.seq } in
+                    rs.seq <- Seqno.next rs.seq;
+                    Memory.Desc_layout.write
+                      (Cnic.desc_layout h.nic)
+                      (mem t)
+                      ~at:(Nic.Ring.slot_addr ring idx)
+                      stamped;
+                    rs.prod <- idx + 1)
+                  descs;
+                k (Ok rs.prod)
+          end
+    end
+  in
+  match t.protection with
+  | Cdna_costs.Disabled ->
+      (* No hypercall: the work happens in the guest kernel. *)
+      Xen.Hypervisor.kernel_work t.xen h.guest ~cost body
+  | Cdna_costs.Full | Cdna_costs.Iommu ->
+      Xen.Hypervisor.hypercall t.xen ~from:h.guest ~cost body
+
+let pinned_pages h = h.tx.pinned + h.rx.pinned
+let faults t = t.faults
+let enqueue_calls t = t.enqueue_calls

@@ -1,0 +1,1 @@
+lib/ethernet/crc32.ml: Array Bytes Char Lazy

@@ -1,0 +1,1 @@
+lib/ethernet/crc32.mli: Bytes

@@ -1,0 +1,1 @@
+lib/ethernet/frame.ml: Bytes Char Crc32 Format Mac_addr Printf

@@ -1,0 +1,1 @@
+lib/ethernet/frame.mli: Bytes Format Mac_addr

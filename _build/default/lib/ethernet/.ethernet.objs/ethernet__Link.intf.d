@@ -1,0 +1,1 @@
+lib/ethernet/link.mli: Frame Sim

@@ -1,0 +1,1 @@
+lib/ethernet/mac_addr.ml: Format Int

@@ -1,0 +1,1 @@
+lib/ethernet/switch.ml: Frame Hashtbl List Mac_addr

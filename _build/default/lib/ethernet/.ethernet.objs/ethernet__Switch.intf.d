@@ -1,0 +1,1 @@
+lib/ethernet/switch.mli: Frame Mac_addr

@@ -1,0 +1,63 @@
+type kind = Data | Ack of int
+
+type t = {
+  src : Mac_addr.t;
+  dst : Mac_addr.t;
+  kind : kind;
+  flow : int;
+  seq : int;
+  segments : int;
+  payload_len : int;
+  payload_seed : int;
+  data : Bytes.t option;
+}
+
+let jumbo_limit = 9000
+
+let make ~src ~dst ~kind ~flow ~seq ?(segments = 1) ~payload_len ~payload_seed
+    () =
+  if segments < 1 then invalid_arg "Frame.make: segments must be positive";
+  if payload_len < 0 || payload_len > segments * jumbo_limit then
+    invalid_arg "Frame.make: payload length out of range";
+  { src; dst; kind; flow; seq; segments; payload_len; payload_seed; data = None }
+
+let materialize_payload ~seed ~len =
+  let b = Bytes.create len in
+  (* xorshift-style byte stream; cheap and deterministic. *)
+  let state = ref (seed lor 1) in
+  for i = 0 to len - 1 do
+    state := !state lxor (!state lsl 13);
+    state := !state lxor (!state lsr 7);
+    state := !state lxor (!state lsl 17);
+    Bytes.set b i (Char.chr (!state land 0xff))
+  done;
+  b
+
+let with_data t =
+  { t with data = Some (materialize_payload ~seed:t.payload_seed ~len:t.payload_len) }
+
+let data_valid t =
+  match t.data with
+  | None -> true
+  | Some d ->
+      Bytes.equal d (materialize_payload ~seed:t.payload_seed ~len:t.payload_len)
+
+let payload_crc t =
+  Crc32.digest (materialize_payload ~seed:t.payload_seed ~len:t.payload_len)
+
+let overhead_bytes = 18
+let min_payload = 46
+
+let wire_bytes t =
+  (overhead_bytes * t.segments) + max min_payload t.payload_len
+
+(* Preamble+SFD (8) and inter-frame gap (12) occupy the wire as well,
+   once per segment. *)
+let wire_bits t = (wire_bytes t + (20 * t.segments)) * 8
+
+let pp ppf t =
+  let kind =
+    match t.kind with Data -> "data" | Ack n -> Printf.sprintf "ack(%d)" n
+  in
+  Format.fprintf ppf "%a->%a %s flow=%d seq=%d len=%d" Mac_addr.pp t.src
+    Mac_addr.pp t.dst kind t.flow t.seq t.payload_len

@@ -1,0 +1,54 @@
+type side = A | B
+
+type direction = {
+  mutable receiver : (Frame.t -> unit) option;
+  (* Receiver sits at the destination side of this direction. *)
+  mutable busy_until : Sim.Time.t;
+  mutable frames : int;
+  mutable bytes : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  rate_bps : int;
+  propagation : Sim.Time.t;
+  to_a : direction;
+  to_b : direction;
+}
+
+let create engine ?(rate_bps = 1_000_000_000) ?(propagation = Sim.Time.ns 500) () =
+  if rate_bps <= 0 then invalid_arg "Link.create: non-positive rate";
+  let dir () = { receiver = None; busy_until = Sim.Time.zero; frames = 0; bytes = 0 } in
+  { engine; rate_bps; propagation; to_a = dir (); to_b = dir () }
+
+let rate_bps t = t.rate_bps
+
+let attach t side f =
+  match side with
+  | A -> t.to_a.receiver <- Some f
+  | B -> t.to_b.receiver <- Some f
+
+let direction_from t = function A -> t.to_b | B -> t.to_a
+
+let send t ~from frame ~on_wire_free =
+  let dir = direction_from t from in
+  let now = Sim.Engine.now t.engine in
+  let start = Sim.Time.max now dir.busy_until in
+  let ser = Sim.Time.bits_time ~bits:(Frame.wire_bits frame) ~rate_bps:t.rate_bps in
+  let wire_free = Sim.Time.add start ser in
+  dir.busy_until <- wire_free;
+  ignore (Sim.Engine.schedule_at t.engine wire_free on_wire_free);
+  let arrival = Sim.Time.add wire_free t.propagation in
+  ignore
+    (Sim.Engine.schedule_at t.engine arrival (fun () ->
+         dir.frames <- dir.frames + 1;
+         dir.bytes <- dir.bytes + frame.Frame.payload_len;
+         match dir.receiver with Some f -> f frame | None -> ()))
+
+let busy t ~from =
+  let dir = direction_from t from in
+  Sim.Time.compare (Sim.Engine.now t.engine) dir.busy_until < 0
+
+let delivered t side =
+  let dir = match side with A -> t.to_a | B -> t.to_b in
+  (dir.frames, dir.bytes)

@@ -1,0 +1,35 @@
+type port = { id : int; egress : Frame.t -> unit }
+
+type t = {
+  mutable ports : port list; (* insertion order *)
+  fdb : (Mac_addr.t, port) Hashtbl.t;
+  mutable floods : int;
+}
+
+let create () = { ports = []; fdb = Hashtbl.create 64; floods = 0 }
+
+let add_port t egress =
+  let p = { id = List.length t.ports; egress } in
+  t.ports <- t.ports @ [ p ];
+  p
+
+let port_count t = List.length t.ports
+let port_equal a b = a.id = b.id
+
+let ingress t port frame =
+  Hashtbl.replace t.fdb frame.Frame.src port;
+  let dst = frame.Frame.dst in
+  if Mac_addr.is_broadcast dst || Mac_addr.is_multicast dst then begin
+    t.floods <- t.floods + 1;
+    List.iter (fun p -> if p.id <> port.id then p.egress frame) t.ports
+  end
+  else
+    match Hashtbl.find_opt t.fdb dst with
+    | Some p when p.id <> port.id -> p.egress frame
+    | Some _ -> () (* destination is behind the ingress port; drop *)
+    | None ->
+        t.floods <- t.floods + 1;
+        List.iter (fun p -> if p.id <> port.id then p.egress frame) t.ports
+
+let lookup t mac = Hashtbl.find_opt t.fdb mac
+let floods t = t.floods

@@ -1,0 +1,28 @@
+(** Learning Ethernet switch.
+
+    The external-network substrate: ports deliver frames to attached
+    handlers; source MACs are learned so subsequent frames unicast; unknown
+    and broadcast destinations flood. The fabric itself is non-blocking
+    (links model serialization). *)
+
+type t
+type port
+
+val create : unit -> t
+
+(** [add_port t f] attaches a port whose egress is [f]. *)
+val add_port : t -> (Frame.t -> unit) -> port
+
+val port_count : t -> int
+
+(** [ingress t port frame] accepts [frame] arriving on [port]: learns the
+    source MAC and forwards (never back out the ingress port). *)
+val ingress : t -> port -> Frame.t -> unit
+
+(** Where a MAC was last seen, if learned. *)
+val lookup : t -> Mac_addr.t -> port option
+
+val port_equal : port -> port -> bool
+
+(** Frames flooded because the destination was unknown (diagnostic). *)
+val floods : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Cdna Config Float Host List Printf Report Run Workload

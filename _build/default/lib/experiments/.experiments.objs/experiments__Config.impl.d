@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Cdna Printf Sim Workload

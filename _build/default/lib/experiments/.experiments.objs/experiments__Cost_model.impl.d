@@ -1,0 +1,1 @@
+lib/experiments/cost_model.ml: Cdna Config Guestos Sim Xen

@@ -1,0 +1,1 @@
+lib/experiments/cost_model.mli: Cdna Config Guestos Sim Xen

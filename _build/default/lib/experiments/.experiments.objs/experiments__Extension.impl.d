@@ -1,0 +1,1 @@
+lib/experiments/extension.ml: Config Host List Printf Report Run Workload

@@ -1,0 +1,1 @@
+lib/experiments/extension.mli: Run

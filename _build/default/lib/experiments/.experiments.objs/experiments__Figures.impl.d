@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Config Host List Printf Report Run Workload

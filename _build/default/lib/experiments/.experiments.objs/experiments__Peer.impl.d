@@ -1,0 +1,1 @@
+lib/experiments/peer.ml: Array Ethernet Float Hashtbl Option Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/peer.mli: Ethernet Sim Workload

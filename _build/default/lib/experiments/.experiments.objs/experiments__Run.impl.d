@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Config Format Host List Nic Option Sim Testbed Workload Xen

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Cdna Config Host List Report Run Workload

@@ -1,0 +1,1 @@
+lib/experiments/testbed.ml: Array Bus Cdna Config Cost_model Ethernet Guestos Hashtbl Host List Memory Nic Peer Printf Sim Workload Xen

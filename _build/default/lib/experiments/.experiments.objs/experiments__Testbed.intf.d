@@ -1,0 +1,1 @@
+lib/experiments/testbed.mli: Cdna Config Cost_model Guestos Host Memory Nic Peer Sim Workload Xen

@@ -1,0 +1,21 @@
+(** Reproduction self-check.
+
+    Runs the experiments behind the paper's headline claims (abstract and
+    section 7) and reports a verdict for each — the script an artifact
+    evaluation committee would want. Claims are checked against loose
+    bands: the reproduction targets the paper's {e shape} (who wins, by
+    roughly what factor, what saturates), not its exact numbers. *)
+
+type verdict = {
+  id : string;
+  claim : string;  (** The paper's statement, paraphrased. *)
+  measured : string;  (** What the simulation produced. *)
+  pass : bool;
+}
+
+(** [verify ()] runs all checks (a dozen simulations; [quick] recommended
+    interactively) and returns the verdicts in order. *)
+val verify : ?quick:bool -> unit -> verdict list
+
+(** Print verdicts as a table; returns true when everything passed. *)
+val print : verdict list -> bool

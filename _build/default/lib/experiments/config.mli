@@ -1,0 +1,41 @@
+(** Experiment configuration.
+
+    One value of {!t} describes a complete testbed assembly and workload —
+    everything needed to reproduce one cell of the paper's tables or one
+    point of its figures. *)
+
+type system =
+  | Native  (** Bare-metal Linux baseline (Table 1). *)
+  | Xen_sw  (** Xen software I/O virtualization (driver domain + bridge). *)
+  | Cdna_sys  (** Concurrent direct network access. *)
+
+type nic_kind = Intel | Ricenic
+
+type t = {
+  system : system;
+  nic : nic_kind;  (** NIC used by Native/Xen_sw; CDNA always uses RiceNIC. *)
+  nics : int;  (** Physical NICs (2 in Tables 2-4, 6 in Table 1). *)
+  guests : int;
+  driver_weight : int;
+      (** Credit-scheduler weight of the driver domain (guests use 256).
+          The paper-era tuning question: should dom0 be favoured? *)
+  pattern : Workload.Pattern.t;
+  conns_per_guest_per_nic : int;
+  window : int;  (** Per-connection packets in flight. *)
+  payload : int;  (** Payload bytes per packet (1500 = MTU-sized TCP). *)
+  gso_segments : int;
+      (** TSO/GSO: MTU segments per super-frame handed to the stack
+          (1 = off). Requires a segmenting NIC; see the TSO extension. *)
+  protection : Cdna.Cdna_costs.protection;  (** CDNA only. *)
+  materialize : bool;  (** Move and verify real payload bytes. *)
+  seed : int;
+  warmup : Sim.Time.t;
+  duration : Sim.Time.t;  (** Measured window after warm-up. *)
+}
+
+(** Single guest, 2 NICs, transmit, full protection, 200 ms measured. *)
+val default : t
+
+val describe : t -> string
+val system_name : system -> string
+val nic_name : nic_kind -> string

@@ -1,0 +1,34 @@
+(** Calibrated CPU cost parameters per testbed assembly.
+
+    The simulator's per-packet and per-event costs are free parameters;
+    this module pins them so that the {e single-guest} runs land near the
+    paper's Tables 1-3 (throughput, execution profile, interrupt rates).
+    Everything else — scaling with guest count, protection on/off deltas,
+    crossovers — is emergent behaviour of the mechanisms, not curve fit.
+
+    Derivation sketch (see DESIGN.md for the arithmetic): the paper's
+    profiles give, per 1500-byte packet, roughly
+
+    - Xen/Intel tx: guest 2.97 us, driver domain 2.67 us, hypervisor 1.48 us
+    - Xen/Intel rx: guest 3.35 us, driver domain 3.97 us, hypervisor 2.77 us
+    - CDNA tx: guest 2.43 us, hypervisor 0.66 us
+    - CDNA rx: guest 3.07 us, hypervisor 0.63 us
+    - Native: 2.34 us (tx) / 3.31 us (rx) total
+
+    which this module splits across stack/driver/netback/bridge/grant
+    costs. *)
+
+type t = {
+  guest_os : Guestos.Os_costs.t;  (** Guest stack/driver/app costs. *)
+  driver_os : Guestos.Os_costs.t;  (** Driver-domain native-driver costs. *)
+  netback : Guestos.Netback.costs;
+  xen : Xen.Costs.t;
+  cdna : Cdna.Cdna_costs.t;
+  evtchn_isr : Sim.Time.t;  (** Guest virtual-ISR entry cost. *)
+  nic_evtchn_isr : Sim.Time.t;  (** Driver-domain NIC virq entry cost. *)
+  native_isr : Sim.Time.t;  (** Bare-metal ISR cost (no hypervisor). *)
+  intr_min_gap : Sim.Time.t;  (** NIC interrupt-coalescing gap. *)
+}
+
+(** Calibrated parameters for an assembly. *)
+val for_config : Config.system -> Config.nic_kind -> t

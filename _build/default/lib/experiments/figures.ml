@@ -1,0 +1,105 @@
+type point = { guests : int; xen : Run.measurement; cdna : Run.measurement }
+
+let paper_guest_counts = [ 1; 2; 4; 8; 12; 16; 20; 24 ]
+
+let sweep ?(quick = false) ~pattern guest_counts =
+  let base = { Config.default with Config.nics = 2; pattern } in
+  List.map
+    (fun guests ->
+      let xen =
+        Run.run ~quick
+          { base with Config.system = Config.Xen_sw; nic = Config.Intel; guests }
+      in
+      let cdna =
+        Run.run ~quick
+          {
+            base with
+            Config.system = Config.Cdna_sys;
+            nic = Config.Ricenic;
+            guests;
+          }
+      in
+      { guests; xen; cdna })
+    guest_counts
+
+let figure3 ?quick ?(guest_counts = paper_guest_counts) () =
+  sweep ?quick ~pattern:Workload.Pattern.Tx guest_counts
+
+let figure4 ?quick ?(guest_counts = paper_guest_counts) () =
+  sweep ?quick ~pattern:Workload.Pattern.Rx guest_counts
+
+(* Paper anchor values for the endpoints of each series. *)
+let paper_anchor ~pattern ~guests ~system =
+  match (pattern, system, guests) with
+  | Workload.Pattern.Tx, `Xen, 1 -> Some 1602.
+  | Workload.Pattern.Tx, `Xen, 24 -> Some 891.
+  | Workload.Pattern.Tx, `Cdna, 1 -> Some 1867.
+  | Workload.Pattern.Tx, `Cdna, 24 -> Some 1867.
+  | Workload.Pattern.Rx, `Xen, 1 -> Some 1112.
+  | Workload.Pattern.Rx, `Xen, 24 -> Some 558.
+  | Workload.Pattern.Rx, `Cdna, 1 -> Some 1874.
+  | Workload.Pattern.Rx, `Cdna, 24 -> Some 1874.
+  | _ -> None
+
+let paper_cdna_idle ~pattern ~guests =
+  match (pattern, guests) with
+  | Workload.Pattern.Tx, 1 -> Some 50.8
+  | Workload.Pattern.Tx, 2 -> Some 25.4
+  | Workload.Pattern.Tx, 4 -> Some 5.9
+  | Workload.Pattern.Tx, _ -> Some 0.
+  | Workload.Pattern.Rx, 1 -> Some 40.9
+  | Workload.Pattern.Rx, 2 -> Some 29.1
+  | Workload.Pattern.Rx, 4 -> Some 12.6
+  | Workload.Pattern.Rx, _ -> Some 0.
+  | Workload.Pattern.Bidirectional, _ -> None
+
+let opt_str f = function Some v -> f v | None -> "-"
+
+let chart points =
+  let xs = List.map (fun p -> p.guests) points in
+  Report.ascii_chart ~x_label:"guests" ~y_label:"Mb/s"
+    ~series:
+      [
+        ("CDNA", '#', List.map (fun p -> Run.primary_mbps p.cdna) points);
+        ("Xen", 'o', List.map (fun p -> Run.primary_mbps p.xen) points);
+      ]
+    ~xs
+
+let print_figure ~title ~pattern points =
+  print_endline title;
+  Report.print
+    ~header:
+      [
+        "Guests"; "Xen Mb/s"; "(paper)"; "CDNA Mb/s"; "(paper)";
+        "CDNA idle"; "(paper)";
+      ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.guests;
+           Report.mbps (Run.primary_mbps p.xen);
+           opt_str Report.mbps
+             (paper_anchor ~pattern ~guests:p.guests ~system:`Xen);
+           Report.mbps (Run.primary_mbps p.cdna);
+           opt_str Report.mbps
+             (paper_anchor ~pattern ~guests:p.guests ~system:`Cdna);
+           Report.pct p.cdna.Run.profile.Host.Profile.idle;
+           opt_str Report.pct (paper_cdna_idle ~pattern ~guests:p.guests);
+         ])
+       points);
+  print_newline ();
+  print_string (chart points)
+
+let csv points =
+  Report.csv
+    ~header:[ "guests"; "xen_mbps"; "cdna_mbps"; "cdna_idle_pct"; "xen_idle_pct" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.guests;
+           Printf.sprintf "%.1f" (Run.primary_mbps p.xen);
+           Printf.sprintf "%.1f" (Run.primary_mbps p.cdna);
+           Printf.sprintf "%.1f" p.cdna.Run.profile.Host.Profile.idle;
+           Printf.sprintf "%.1f" p.xen.Run.profile.Host.Profile.idle;
+         ])
+       points)

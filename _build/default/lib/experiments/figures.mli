@@ -1,0 +1,25 @@
+(** Reproductions of the paper's Figures 3 and 4: aggregate throughput as
+    the number of guests scales, for Xen software virtualization
+    (Intel NIC) and CDNA, with CDNA's idle time annotated. *)
+
+type point = {
+  guests : int;
+  xen : Run.measurement;
+  cdna : Run.measurement;
+}
+
+(** Guest counts used by the paper. *)
+val paper_guest_counts : int list
+
+(** [figure3 ()] sweeps transmit throughput over guest counts.
+    [guest_counts] defaults to the paper's {1,2,4,8,12,16,20,24}. *)
+val figure3 : ?quick:bool -> ?guest_counts:int list -> unit -> point list
+
+(** [figure4 ()] — the receive sweep. *)
+val figure4 : ?quick:bool -> ?guest_counts:int list -> unit -> point list
+
+val print_figure :
+  title:string -> pattern:Workload.Pattern.t -> point list -> unit
+
+(** CSV series (guests, xen_mbps, cdna_mbps, cdna_idle_pct, xen_idle_pct). *)
+val csv : point list -> string

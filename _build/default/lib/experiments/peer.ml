@@ -1,0 +1,223 @@
+type sink = {
+  s_conn : Workload.Connection.t;
+  s_credit : int -> unit;
+  mutable s_pending : int;
+  mutable s_flush_armed : bool;
+}
+
+(* Go-back-N sender with AIMD congestion control for one guest-receive
+   connection: the congestion window halves (to one segment, with the
+   slow-start threshold at half the flight size) on timeout and grows by
+   slow start / congestion avoidance on acknowledgements — enough TCP to
+   reproduce goodput behaviour under receive-side overload. *)
+type source = {
+  src_conn : Workload.Connection.t;
+  mutable base : int; (* lowest unacknowledged sequence number *)
+  mutable next : int; (* next sequence number to transmit *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable rto_armed : bool;
+  mutable armed_base : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  link : Ethernet.Link.t;
+  mac : Ethernet.Mac_addr.t;
+  ack_delay : Sim.Time.t;
+  rto : Sim.Time.t;
+  rng : Sim.Rng.t option;
+  flow_ok : unit -> bool;
+  materialize : bool;
+  sinks : (int, sink) Hashtbl.t;
+  mutable sources : source array;
+  by_conn : (int, source) Hashtbl.t;
+  mutable rr : int;
+  mutable sending : bool;
+  mutable sunk : int;
+  mutable sourced : int;
+  mutable retransmissions : int;
+  mutable timeouts : int;
+  mutable ignored : int;
+}
+
+let create engine ~link ~mac ?(ack_delay = Sim.Time.us 60)
+    ?(rto = Sim.Time.ms 4) ?rng ?(flow_ok = fun () -> true)
+    ?(materialize = false) () =
+  let t =
+    {
+      engine;
+      link;
+      mac;
+      ack_delay;
+      rto;
+      rng;
+      flow_ok;
+      materialize;
+      sinks = Hashtbl.create 64;
+      sources = [||];
+      by_conn = Hashtbl.create 64;
+      rr = 0;
+      sending = false;
+      sunk = 0;
+      sourced = 0;
+      retransmissions = 0;
+      timeouts = 0;
+      ignored = 0;
+    }
+  in
+  Ethernet.Link.attach link Ethernet.Link.B (fun frame ->
+      if not (Ethernet.Mac_addr.equal frame.Ethernet.Frame.dst t.mac) then
+        t.ignored <- t.ignored + 1
+      else
+        match Hashtbl.find_opt t.sinks frame.Ethernet.Frame.flow with
+        | Some sink -> (
+            match
+              Workload.Connection.record_received
+                ~now:(Sim.Engine.now t.engine) sink.s_conn frame
+            with
+            | `Rejected -> ()
+            | `Accepted ->
+                t.sunk <- t.sunk + frame.Ethernet.Frame.segments;
+                (* Coalesce acknowledgements, as TCP's delayed cumulative
+                   acks do: one credit delivery per connection per ack
+                   window. Super-frames acknowledge all their segments. *)
+                sink.s_pending <- sink.s_pending + frame.Ethernet.Frame.segments;
+                if not sink.s_flush_armed then begin
+                  sink.s_flush_armed <- true;
+                  let delay =
+                    match t.rng with
+                    | None -> t.ack_delay
+                    | Some rng ->
+                        (* +/-25% jitter decorrelates the flows' ack
+                           clocks, as real network timing noise does. *)
+                        let spread = Sim.Time.div_int t.ack_delay 2 in
+                        Sim.Time.add
+                          (Sim.Time.diff t.ack_delay (Sim.Time.div_int spread 2))
+                          (Sim.Rng.int rng (max 1 spread))
+                  in
+                  ignore
+                    (Sim.Engine.schedule engine ~delay (fun () ->
+                         sink.s_flush_armed <- false;
+                         let n = sink.s_pending in
+                         sink.s_pending <- 0;
+                         if n > 0 then sink.s_credit n))
+                end)
+        | None -> t.ignored <- t.ignored + 1);
+  t
+
+let mac t = t.mac
+
+let add_sink t conn ~credit =
+  Hashtbl.replace t.sinks
+    (Workload.Connection.id conn)
+    { s_conn = conn; s_credit = credit; s_pending = 0; s_flush_armed = false }
+
+let add_source t ?(from_seq = 0) conn =
+  let s =
+    {
+      src_conn = conn;
+      base = from_seq;
+      next = from_seq;
+      cwnd = 2.;
+      ssthresh = float_of_int (Workload.Connection.window conn);
+      rto_armed = false;
+      armed_base = 0;
+    }
+  in
+  t.sources <- Array.append t.sources [| s |];
+  Hashtbl.replace t.by_conn (Workload.Connection.id conn) s
+
+let source_position t conn =
+  Option.map
+    (fun s -> (s.base, s.next))
+    (Hashtbl.find_opt t.by_conn (Workload.Connection.id conn))
+
+let in_flight s = s.next - s.base
+
+let effective_window s =
+  min (Workload.Connection.window s.src_conn) (max 1 (int_of_float s.cwnd))
+
+let can_send s = in_flight s < effective_window s
+
+(* Retransmission timer: if the window base has not advanced within one
+   RTO while data is outstanding, go back to the base and resend the
+   whole window (go-back-N). *)
+let rec arm_rto t s =
+  if not s.rto_armed then begin
+    s.rto_armed <- true;
+    s.armed_base <- s.base;
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.rto (fun () ->
+           s.rto_armed <- false;
+           if in_flight s > 0 then begin
+             if s.base = s.armed_base then begin
+               (* Timeout: everything past [base] is presumed lost; back
+                  off multiplicatively and slow-start again. *)
+               t.timeouts <- t.timeouts + 1;
+               t.retransmissions <- t.retransmissions + in_flight s;
+               s.ssthresh <- Float.max 2. (float_of_int (in_flight s) /. 2.);
+               s.cwnd <- 1.;
+               s.next <- s.base
+             end;
+             arm_rto t s;
+             pump t
+           end))
+  end
+
+(* Keep the wire busy: one frame in flight on our transmitter at a time,
+   round-robin over connections with open windows. *)
+and pump t =
+  if (not t.sending) && t.flow_ok () && Array.length t.sources > 0 then begin
+    let n = Array.length t.sources in
+    let rec pick i remaining =
+      if remaining = 0 then None
+      else begin
+        let s = t.sources.(i mod n) in
+        if can_send s then Some (i mod n) else pick (i + 1) (remaining - 1)
+      end
+    in
+    match pick t.rr n with
+    | None -> ()
+    | Some i ->
+        t.rr <- (i + 1) mod n;
+        let s = t.sources.(i) in
+        let frame =
+          Workload.Connection.frame_with_seq
+            ~now:(Sim.Engine.now t.engine) s.src_conn ~seq:s.next
+        in
+        let frame =
+          if t.materialize then Ethernet.Frame.with_data frame else frame
+        in
+        s.next <- s.next + 1;
+        t.sourced <- t.sourced + 1;
+        arm_rto t s;
+        t.sending <- true;
+        Ethernet.Link.send t.link ~from:Ethernet.Link.B frame
+          ~on_wire_free:(fun () ->
+            t.sending <- false;
+            pump t)
+  end
+
+let start t = pump t
+
+let on_ack t conn n =
+  match Hashtbl.find_opt t.by_conn (Workload.Connection.id conn) with
+  | None -> ()
+  | Some s ->
+      s.base <- min s.next (s.base + n);
+      (* Window growth: slow start below the threshold, additive
+         increase above it. *)
+      let n_f = float_of_int n in
+      if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd +. n_f
+      else s.cwnd <- s.cwnd +. (n_f /. Float.max 1. s.cwnd);
+      let cap = float_of_int (Workload.Connection.window s.src_conn) in
+      if s.cwnd > cap then s.cwnd <- cap;
+      pump t
+
+let kick t = pump t
+let sunk t = t.sunk
+let sourced t = t.sourced
+let retransmissions t = t.retransmissions
+let timeouts t = t.timeouts
+let ignored t = t.ignored

@@ -1,0 +1,37 @@
+(** Execute one experiment and collect the paper's metrics.
+
+    A run builds a {!Testbed}, lets it warm up (windows fill, schedulers
+    settle), resets all counters, then measures for the configured
+    duration: goodput per direction, the Xenoprof-style execution profile,
+    and virtual/physical interrupt rates. *)
+
+type measurement = {
+  config : Config.t;
+  tx_mbps : float;  (** Aggregate guest-transmit goodput (payload bits). *)
+  rx_mbps : float;  (** Aggregate guest-receive goodput. *)
+  profile : Host.Profile.report;
+  driver_virq_per_sec : float;  (** Virtual interrupts into the driver domain. *)
+  guest_virq_per_sec : float;  (** Virtual interrupts into all guests. *)
+  phys_irq_per_sec : float;
+  rx_drops : int;  (** NIC buffer overflow drops during measurement. *)
+  faults : int;  (** NIC protection faults during measurement. *)
+  integrity_failures : int;  (** Payload corruption detections. *)
+  latency_p50_us : float;  (** Median end-to-end packet latency. *)
+  latency_p99_us : float;
+  fairness : float;
+      (** Jain's fairness index over per-connection goodput in the
+          measured direction (1.0 = perfectly balanced). The paper's
+          benchmark "balances the bandwidth across all connections to
+          ensure fairness"; this checks the reproduction does too. *)
+  events_fired : int;  (** Simulation events (diagnostic). *)
+}
+
+(** Primary throughput of the run's traffic pattern (tx for Tx, rx for Rx,
+    sum for bidirectional). *)
+val primary_mbps : measurement -> float
+
+(** [run cfg] builds and measures. [quick] shrinks warm-up/measurement to
+    ~1/4 duration for tests. *)
+val run : ?quick:bool -> Config.t -> measurement
+
+val pp : Format.formatter -> measurement -> unit

@@ -1,0 +1,1 @@
+lib/guestos/bridge.ml: Ethernet Hashtbl List

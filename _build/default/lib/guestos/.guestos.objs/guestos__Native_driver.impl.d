@@ -1,0 +1,1 @@
+lib/guestos/native_driver.ml: Array Ethernet List Memory Netdev Nic Option Os_costs Queue Sim

@@ -1,0 +1,1 @@
+lib/guestos/native_driver.mli: Ethernet Memory Netdev Nic Os_costs Sim

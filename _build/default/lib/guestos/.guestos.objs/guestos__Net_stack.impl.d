@@ -1,0 +1,1 @@
+lib/guestos/net_stack.ml: Ethernet List Netdev Os_costs Queue Sim

@@ -1,0 +1,1 @@
+lib/guestos/net_stack.mli: Ethernet Netdev Os_costs Sim

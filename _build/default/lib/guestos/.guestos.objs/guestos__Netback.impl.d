@@ -1,0 +1,1 @@
+lib/guestos/netback.ml: Array Bridge Ethernet Hashtbl List Memory Netdev Queue Sim Xchan Xen

@@ -1,0 +1,1 @@
+lib/guestos/netback.mli: Ethernet Netdev Sim Xchan Xen

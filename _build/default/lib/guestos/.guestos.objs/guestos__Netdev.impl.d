@@ -1,0 +1,1 @@
+lib/guestos/netdev.ml: Ethernet List

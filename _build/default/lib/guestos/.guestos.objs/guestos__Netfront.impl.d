@@ -1,0 +1,1 @@
+lib/guestos/netfront.ml: Ethernet List Memory Netdev Option Os_costs Queue Sim Xchan Xen

@@ -1,0 +1,1 @@
+lib/guestos/netfront.mli: Ethernet Netdev Os_costs Xchan Xen

@@ -1,0 +1,1 @@
+lib/guestos/os_costs.ml: Sim

@@ -1,0 +1,1 @@
+lib/guestos/xchan.ml: Ethernet List Memory Queue

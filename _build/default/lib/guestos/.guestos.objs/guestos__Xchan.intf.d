@@ -1,0 +1,1 @@
+lib/guestos/xchan.mli: Ethernet Memory

@@ -1,0 +1,35 @@
+type 'a port = { id : int; payload : 'a }
+
+type 'a t = {
+  mutable port_list : 'a port list; (* insertion order *)
+  fdb : (Ethernet.Mac_addr.t, 'a port) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () = { port_list = []; fdb = Hashtbl.create 64; next_id = 0 }
+
+let add_port t payload =
+  let p = { id = t.next_id; payload } in
+  t.next_id <- t.next_id + 1;
+  t.port_list <- t.port_list @ [ p ];
+  p
+
+let payload p = p.payload
+let ports t = t.port_list
+let learn t port mac = Hashtbl.replace t.fdb mac port
+
+type 'a decision = To of 'a port | Flood of 'a port list | Drop
+
+let route t ~ingress frame =
+  learn t ingress frame.Ethernet.Frame.src;
+  let dst = frame.Ethernet.Frame.dst in
+  let others () = List.filter (fun p -> p.id <> ingress.id) t.port_list in
+  if Ethernet.Mac_addr.is_broadcast dst || Ethernet.Mac_addr.is_multicast dst
+  then Flood (others ())
+  else
+    match Hashtbl.find_opt t.fdb dst with
+    | Some p when p.id = ingress.id -> Drop
+    | Some p -> To p
+    | None -> Flood (others ())
+
+let lookup t mac = Hashtbl.find_opt t.fdb mac

@@ -1,0 +1,57 @@
+(** Native (unvirtualized) NIC driver.
+
+    The driver used by the bare-metal baseline and, unmodified, by the Xen
+    driver domain (paper section 2.2): it owns its descriptor rings in its
+    domain's memory, writes DMA descriptors directly, rings doorbells via
+    PIO, and processes completions from interrupts with NAPI-style
+    batching. The NIC is fully trusted with the physical addresses it is
+    given — the trust relationship the CDNA design replaces for guests.
+
+    Per ring slot the driver owns one page of buffer memory; payload bytes
+    are really written to (tx) and read from (rx) those pages when the NIC
+    materializes payloads. *)
+
+type t
+
+(** [create ~mem ~post_kernel ~costs ~hw ~mac ~alloc_pages ()] builds the
+    driver and initializes the hardware: allocates ring/buffer/status
+    pages from its domain (via [alloc_pages]), programs the rings, posts
+    all receive buffers.
+
+    [tx_slots]/[rx_slots] (default 256) must be powers of two and at most
+    256 so each ring fits one page. [materialize] controls whether payload
+    bytes are staged in buffers.
+
+    [sg_split] enables scatter/gather transmit (on in the paper's testbed
+    configuration): packets longer than the split are described by two
+    descriptors — a header fragment of [sg_split] bytes and the rest —
+    which the NIC coalesces at the end-of-packet flag. *)
+val create :
+  mem:Memory.Phys_mem.t ->
+  post_kernel:(cost:Sim.Time.t -> (unit -> unit) -> unit) ->
+  costs:Os_costs.t ->
+  hw:Nic.Driver_if.t ->
+  mac:Ethernet.Mac_addr.t ->
+  alloc_pages:(int -> Memory.Addr.pfn list) ->
+  ?tx_slots:int ->
+  ?rx_slots:int ->
+  ?materialize:bool ->
+  ?sg_split:int ->
+  unit ->
+  t
+
+(** The stack-facing device. *)
+val netdev : t -> Netdev.t
+
+(** Entry point for the (virtual or physical) interrupt: schedules a poll
+    if one is not already pending. Safe to call from any context. *)
+val handle_interrupt : t -> unit
+
+(** Frames fully transmitted / received so far. *)
+val tx_count : t -> int
+
+val rx_count : t -> int
+
+(** Number of polls executed (diagnostic; relates interrupt rate to
+    batching). *)
+val polls : t -> int

@@ -1,0 +1,423 @@
+type costs = {
+  per_pkt_tx : Sim.Time.t;
+  per_pkt_rx : Sim.Time.t;
+  bridge_per_pkt : Sim.Time.t;
+  wakeup_fixed : Sim.Time.t;
+  per_ring_visit : Sim.Time.t;
+  tx_budget : int;
+  rx_budget : int;
+  rx_overflow_cap : int;
+}
+
+let default_costs =
+  {
+    per_pkt_tx = Sim.Time.ns 1_200;
+    per_pkt_rx = Sim.Time.ns 1_800;
+    bridge_per_pkt = Sim.Time.ns 600;
+    wakeup_fixed = Sim.Time.us 2;
+    per_ring_visit = Sim.Time.ns 700;
+    tx_budget = 96;
+    rx_budget = 96;
+    rx_overflow_cap = 512;
+  }
+
+type iface = {
+  guest_dom : Xen.Domain.t;
+  guest_mac : Ethernet.Mac_addr.t;
+  xchan : Xchan.t;
+  notify_frontend : unit -> unit;
+  (* Received frames routed to this guest but not yet on its ring. *)
+  overflow : Ethernet.Frame.t Queue.t;
+}
+
+type port_target = Guest of iface | Phys of Netdev.t
+
+type t = {
+  hyp : Xen.Hypervisor.t;
+  dom : Xen.Domain.t;
+  costs : costs;
+  mutable ring_rr : int; (* rotating start for fair ring service *)
+  materialize : bool;
+  mem : Memory.Phys_mem.t;
+  bridge : port_target Bridge.t;
+  mutable ifaces : (iface * port_target Bridge.port) list;
+  mutable phys : (Netdev.t * port_target Bridge.port) list;
+  pool : Memory.Addr.pfn Queue.t;
+  rx_inbox : (port_target Bridge.port * Ethernet.Frame.t) Queue.t;
+  mutable scheduled : bool;
+  mutable tx_forwarded : int;
+  mutable rx_delivered : int;
+  mutable rx_dropped : int;
+  mutable runs : int;
+}
+
+let create ~hyp ~dom ~costs ?(pool_pages = 4096) ?(materialize = false) () =
+  let pool = Queue.create () in
+  List.iter
+    (fun p -> Queue.push p pool)
+    (Xen.Hypervisor.alloc_pages hyp dom pool_pages);
+  {
+    hyp;
+    dom;
+    costs;
+    materialize;
+    mem = Xen.Hypervisor.mem hyp;
+    ring_rr = 0;
+    bridge = Bridge.create ();
+    ifaces = [];
+    phys = [];
+    pool;
+    rx_inbox = Queue.create ();
+    scheduled = false;
+    tx_forwarded = 0;
+    rx_delivered = 0;
+    rx_dropped = 0;
+    runs = 0;
+  }
+
+let post_kernel t ~cost fn = Xen.Hypervisor.kernel_work t.hyp t.dom ~cost fn
+
+let hypercall t ~cost fn = Xen.Hypervisor.hypercall t.hyp ~from:t.dom ~cost fn
+
+let grant_map_cost t = (Xen.Hypervisor.costs t.hyp).Xen.Costs.grant_map
+
+let grant_transfer_cost t =
+  (Xen.Hypervisor.costs t.hyp).Xen.Costs.grant_transfer
+
+(* ---------- The netback thread ---------- *)
+
+(* Work collected during one run. *)
+type collected = {
+  mutable tx : (iface * Xchan.entry * port_target Bridge.decision) list;
+  mutable rx : (iface * Ethernet.Frame.t) list;  (* deliveries to guests *)
+}
+
+let rec schedule t =
+  if not t.scheduled then begin
+    t.scheduled <- true;
+    let cost =
+      Sim.Time.add t.costs.wakeup_fixed
+        (Sim.Time.mul_int t.costs.per_ring_visit (List.length t.ifaces))
+    in
+    post_kernel t ~cost (fun () -> run t)
+  end
+
+and run t =
+  t.scheduled <- false;
+  t.runs <- t.runs + 1;
+  let c = { tx = []; rx = [] } in
+  (* Refill the exchange pool with pages returned by guests. *)
+  List.iter
+    (fun (iface, _) ->
+      List.iter
+        (fun p -> Queue.push p t.pool)
+        (Xchan.take_returned_pages iface.xchan))
+    t.ifaces;
+  collect_guest_tx t c;
+  collect_rx t c;
+  let n_tx = List.length c.tx and n_rx = List.length c.rx in
+  if n_tx = 0 && n_rx = 0 then ()
+  else begin
+    let flips_cost =
+      Sim.Time.add
+        (Sim.Time.mul_int (grant_map_cost t) (2 * n_tx))
+        (Sim.Time.mul_int (grant_transfer_cost t) n_rx)
+    in
+    let pkts_cost =
+      Sim.Time.add
+        (Sim.Time.mul_int
+           (Sim.Time.add t.costs.per_pkt_tx t.costs.bridge_per_pkt)
+           n_tx)
+        (Sim.Time.mul_int
+           (Sim.Time.add t.costs.per_pkt_rx t.costs.bridge_per_pkt)
+           n_rx)
+    in
+    hypercall t ~cost:flips_cost (fun () ->
+        post_kernel t ~cost:pkts_cost (fun () ->
+            apply t c;
+            if more_work t then schedule t))
+  end
+
+(* Drain transmit requests from the guest rings — at most [tx_budget]
+   packets per run in total (the NAPI-style quantum real netback uses),
+   starting from a rotating ring so service stays fair — routing as we go
+   and respecting the egress device's available space. *)
+and collect_guest_tx t c =
+  let phys_budget = Hashtbl.create 8 in
+  let space_for nd =
+    match Hashtbl.find_opt phys_budget (Ethernet.Mac_addr.to_int48 (Netdev.mac nd)) with
+    | Some s -> s
+    | None ->
+        let s = Netdev.tx_space nd in
+        Hashtbl.replace phys_budget (Ethernet.Mac_addr.to_int48 (Netdev.mac nd)) s;
+        s
+  in
+  let consume nd =
+    let key = Ethernet.Mac_addr.to_int48 (Netdev.mac nd) in
+    Hashtbl.replace phys_budget key (space_for nd - 1)
+  in
+  let ifaces = Array.of_list t.ifaces in
+  let n_ifaces = Array.length ifaces in
+  if n_ifaces > 0 then t.ring_rr <- (t.ring_rr + 1) mod n_ifaces;
+  let budget = ref t.costs.tx_budget in
+  let per_ring_cap = max 4 (t.costs.tx_budget / max 1 n_ifaces) in
+  Array.iteri
+    (fun k _ ->
+      let iface, port = ifaces.((t.ring_rr + k) mod n_ifaces) in
+      let ring_budget = ref per_ring_cap in
+      let blocked = ref false in
+      while
+        (not !blocked) && !budget > 0 && !ring_budget > 0
+        && Xchan.tx_used iface.xchan > 0
+      do
+        (* Peek first: if the egress device is full, the request stays on
+           the ring — popping and re-pushing would reorder the flow, which
+           an in-order receiver never forgives. *)
+        match Xchan.tx_peek iface.xchan with
+        | None -> blocked := true
+        | Some entry ->
+            let decision =
+              Bridge.route t.bridge ~ingress:port entry.Xchan.frame
+            in
+            (match decision with
+            | Bridge.To p -> (
+                match Bridge.payload p with
+                | Phys nd ->
+                    if space_for nd <= 0 then blocked := true else consume nd
+                | Guest _ -> ())
+            | Bridge.Flood _ | Bridge.Drop -> ());
+            if not !blocked then begin
+              ignore (Xchan.tx_pop iface.xchan);
+              decr budget;
+              decr ring_budget;
+              c.tx <- (iface, entry, decision) :: c.tx
+            end
+      done)
+    ifaces;
+  c.tx <- List.rev c.tx
+
+and collect_rx t c =
+  let budget = ref t.costs.rx_budget in
+  (* First serve frames held over from previous runs. *)
+  List.iter
+    (fun (iface, _) ->
+      while !budget > 0 && Xchan.rx_space iface.xchan > 0
+            && Queue.length iface.overflow > 0 do
+        c.rx <- (iface, Queue.pop iface.overflow) :: c.rx;
+        decr budget
+      done)
+    t.ifaces;
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Queue.take_opt t.rx_inbox with
+    | None -> continue := false
+    | Some (ingress, frame) -> (
+        match Bridge.route t.bridge ~ingress frame with
+        | Bridge.To p -> (
+            match Bridge.payload p with
+            | Guest iface ->
+                if Xchan.rx_space iface.xchan > 0 then begin
+                  c.rx <- (iface, frame) :: c.rx;
+                  decr budget
+                end
+                else if Queue.length iface.overflow < t.costs.rx_overflow_cap
+                then Queue.push frame iface.overflow
+                else begin
+                  t.rx_dropped <- t.rx_dropped + 1
+                end
+            | Phys nd -> Netdev.send nd [ frame ])
+        | Bridge.Flood ports ->
+            List.iter
+              (fun p ->
+                match Bridge.payload p with
+                | Guest iface ->
+                    if Queue.length iface.overflow < t.costs.rx_overflow_cap
+                    then Queue.push frame iface.overflow
+                    else t.rx_dropped <- t.rx_dropped + 1
+                | Phys nd -> Netdev.send nd [ frame ])
+              ports
+        | Bridge.Drop -> ())
+  done;
+  c.rx <- List.rev c.rx
+
+(* Apply the collected work: page flips were paid for in the hypercall
+   item; here we mutate ownership, move frames, and notify guests. *)
+and apply t c =
+  (* Event-index protocol: a guest only needs a virtual interrupt if its
+     channel was quiet (nothing pending) before this run produced into it;
+     a guest with pending state keeps polling until it drains. Quiescence
+     is captured before any mutation below. *)
+  let quiet_at_entry = Hashtbl.create 8 in
+  List.iter
+    (fun (iface, _) ->
+      Hashtbl.replace quiet_at_entry
+        (Xen.Domain.id iface.guest_dom)
+        (Xchan.rx_used iface.xchan = 0
+        && Xchan.tx_completions_pending iface.xchan = 0))
+    t.ifaces;
+  let touched = Hashtbl.create 8 in
+  let touch iface =
+    let key = Xen.Domain.id iface.guest_dom in
+    if not (Hashtbl.mem touched key) then begin
+      let quiet =
+        match Hashtbl.find_opt quiet_at_entry key with
+        | Some q -> q
+        | None -> true
+      in
+      Hashtbl.replace touched key (iface, quiet)
+    end
+  in
+  (* Guest transmit: exchange pages and forward through the bridge. *)
+  let per_nd = Hashtbl.create 8 in
+  let completions = Hashtbl.create 8 in
+  List.iter
+    (fun (iface, entry, decision) ->
+      (* Flip the data page guest -> driver. *)
+      (match
+         Xen.Grant_table.flip t.hyp ~src:iface.guest_dom ~dst:t.dom
+           entry.Xchan.pfn
+       with
+      | Ok () -> Queue.push entry.Xchan.pfn t.pool
+      | Error (`Not_owner | `Pinned) -> ());
+      (* Pick a replacement page driver -> guest. *)
+      let replacement =
+        match Queue.take_opt t.pool with
+        | Some pfn -> (
+            match
+              Xen.Grant_table.flip t.hyp ~src:t.dom ~dst:iface.guest_dom pfn
+            with
+            | Ok () -> [ pfn ]
+            | Error (`Not_owner | `Pinned) -> [])
+        | None -> []
+      in
+      let key = Xen.Domain.id iface.guest_dom in
+      let count, pages =
+        match Hashtbl.find_opt completions key with
+        | Some (c, p) -> (c, p)
+        | None -> (0, [])
+      in
+      Hashtbl.replace completions key (count + 1, replacement @ pages);
+      touch iface;
+      t.tx_forwarded <- t.tx_forwarded + 1;
+      let frame = entry.Xchan.frame in
+      match decision with
+      | Bridge.To p -> (
+          match Bridge.payload p with
+          | Phys nd ->
+              let key = Ethernet.Mac_addr.to_int48 (Netdev.mac nd) in
+              let batch =
+                match Hashtbl.find_opt per_nd key with
+                | Some (nd, fs) -> (nd, frame :: fs)
+                | None -> (nd, [ frame ])
+              in
+              Hashtbl.replace per_nd key batch
+          | Guest dst_iface ->
+              (* Inter-guest traffic becomes a receive on the peer. *)
+              if Queue.length dst_iface.overflow < t.costs.rx_overflow_cap
+              then Queue.push frame dst_iface.overflow
+              else t.rx_dropped <- t.rx_dropped + 1)
+      | Bridge.Flood ports ->
+          List.iter
+            (fun p ->
+              match Bridge.payload p with
+              | Phys nd -> Netdev.send nd [ frame ]
+              | Guest dst_iface ->
+                  if Queue.length dst_iface.overflow < t.costs.rx_overflow_cap
+                  then Queue.push frame dst_iface.overflow
+                  else t.rx_dropped <- t.rx_dropped + 1)
+            ports
+      | Bridge.Drop -> ())
+    c.tx;
+  Hashtbl.iter (fun _ (nd, fs) -> Netdev.send nd (List.rev fs)) per_nd;
+  (* Deliveries to guests: flip a pool page carrying the payload in. *)
+  List.iter
+    (fun (iface, frame) ->
+      match Queue.take_opt t.pool with
+      | None ->
+          (* Exchange pool empty; hold the frame for the next run. *)
+          Queue.push frame iface.overflow
+      | Some pfn -> (
+          if t.materialize then begin
+            let data =
+              match frame.Ethernet.Frame.data with
+              | Some d -> d
+              | None ->
+                  Ethernet.Frame.materialize_payload
+                    ~seed:frame.Ethernet.Frame.payload_seed
+                    ~len:frame.Ethernet.Frame.payload_len
+            in
+            Memory.Phys_mem.write t.mem
+              ~addr:(Memory.Addr.base_of_pfn pfn)
+              data
+          end;
+          match
+            Xen.Grant_table.flip t.hyp ~src:t.dom ~dst:iface.guest_dom pfn
+          with
+          | Ok () ->
+              if Xchan.rx_push iface.xchan { Xchan.frame; pfn } then begin
+                t.rx_delivered <- t.rx_delivered + 1;
+                touch iface
+              end
+              else begin
+                (* Ring filled meanwhile: undo the flip, hold the frame. *)
+                (match
+                   Xen.Grant_table.flip t.hyp ~src:iface.guest_dom ~dst:t.dom
+                     pfn
+                 with
+                | Ok () -> Queue.push pfn t.pool
+                | Error (`Not_owner | `Pinned) -> ());
+                Queue.push frame iface.overflow
+              end
+          | Error (`Not_owner | `Pinned) -> Queue.push pfn t.pool))
+    c.rx;
+  (* Push completion records and send one notification per touched guest. *)
+  Hashtbl.iter
+    (fun dom_id (count, pages) ->
+      match
+        List.find_opt
+          (fun (i, _) -> Xen.Domain.id i.guest_dom = dom_id)
+          t.ifaces
+      with
+      | Some (iface, _) ->
+          Xchan.push_tx_completion iface.xchan ~pages ~count
+      | None -> ())
+    completions;
+  Hashtbl.iter
+    (fun _ (iface, quiet) -> if quiet then iface.notify_frontend ())
+    touched
+
+and more_work t =
+  Queue.length t.rx_inbox > 0
+  || List.exists
+       (fun (iface, _) ->
+         Xchan.tx_used iface.xchan > 0
+         || (Queue.length iface.overflow > 0 && Xchan.rx_space iface.xchan > 0))
+       t.ifaces
+
+let add_interface t ~guest_dom ~guest_mac ~xchan ~notify_frontend =
+  let iface =
+    { guest_dom; guest_mac; xchan; notify_frontend; overflow = Queue.create () }
+  in
+  let port = Bridge.add_port t.bridge (Guest iface) in
+  Bridge.learn t.bridge port guest_mac;
+  t.ifaces <- t.ifaces @ [ (iface, port) ];
+  iface
+
+let add_physical t netdev ~remote_macs =
+  let port = Bridge.add_port t.bridge (Phys netdev) in
+  Bridge.learn t.bridge port (Netdev.mac netdev);
+  List.iter (fun mac -> Bridge.learn t.bridge port mac) remote_macs;
+  t.phys <- t.phys @ [ (netdev, port) ];
+  Netdev.set_rx_handler netdev (fun frames ->
+      List.iter (fun f -> Queue.push (port, f) t.rx_inbox) frames;
+      schedule t);
+  Netdev.set_writable_hook netdev (fun () -> schedule t);
+  (* Transmit completions return physical ring slots; resume draining the
+     guest rings that were blocked on egress space. *)
+  Netdev.set_tx_done_handler netdev (fun _ -> schedule t)
+
+let tx_forwarded t = t.tx_forwarded
+let rx_delivered t = t.rx_delivered
+let rx_dropped t = t.rx_dropped
+let pool_size t = Queue.length t.pool
+let runs t = t.runs

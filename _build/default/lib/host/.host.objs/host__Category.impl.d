@@ -1,0 +1,1 @@
+lib/host/category.ml: Format Int

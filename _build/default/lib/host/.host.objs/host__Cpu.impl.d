@@ -1,0 +1,1 @@
+lib/host/cpu.ml: Category Float List Profile Queue Sim

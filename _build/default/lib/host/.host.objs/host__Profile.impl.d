@@ -1,0 +1,1 @@
+lib/host/profile.ml: Category Float Format Hashtbl Sim

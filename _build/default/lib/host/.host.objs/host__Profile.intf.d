@@ -1,0 +1,1 @@
+lib/host/profile.mli: Category Format Sim

@@ -1,0 +1,198 @@
+type work = { cost : Sim.Time.t; category : Category.t; fn : unit -> unit }
+
+type entity = {
+  id : int;
+  name : string;
+  weight : int;
+  domain : Category.domain_id;
+  queue : work Queue.t;
+  mutable credits : float; (* entitled runtime, us *)
+  mutable boosted : bool;
+  mutable runtime : Sim.Time.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  profile : Profile.t;
+  ctx_switch_cost : Sim.Time.t;
+  slice : Sim.Time.t;
+  credit_period : Sim.Time.t;
+  irq_queue : work Queue.t;
+  mutable entities : entity list; (* registration order *)
+  boost_fifo : entity Queue.t;
+  mutable current : entity option;
+  mutable slice_used : Sim.Time.t;
+  mutable busy : bool;
+  mutable total_busy : Sim.Time.t;
+  mutable switches : int;
+  mutable next_id : int;
+}
+
+let create engine ?(ctx_switch_cost = Sim.Time.ns 2_500)
+    ?(slice = Sim.Time.ms 1) ?(credit_period = Sim.Time.ms 30) ~profile () =
+  let t =
+    {
+      engine;
+      profile;
+      ctx_switch_cost;
+      slice;
+      credit_period;
+      irq_queue = Queue.create ();
+      entities = [];
+      boost_fifo = Queue.create ();
+      current = None;
+      slice_used = 0;
+      busy = false;
+      total_busy = 0;
+      switches = 0;
+      next_id = 0;
+    }
+  in
+  (* Periodic credit replenishment, proportional to weights. *)
+  let rec replenish () =
+    let total_weight =
+      List.fold_left (fun acc e -> acc + e.weight) 0 t.entities
+    in
+    if total_weight > 0 then begin
+      let period_us = Sim.Time.to_us_f t.credit_period in
+      let cap = period_us in
+      List.iter
+        (fun e ->
+          let share =
+            period_us *. float_of_int e.weight /. float_of_int total_weight
+          in
+          e.credits <- Float.min cap (e.credits +. share))
+        t.entities
+    end;
+    ignore (Sim.Engine.schedule engine ~delay:t.credit_period replenish)
+  in
+  ignore (Sim.Engine.schedule engine ~delay:t.credit_period replenish);
+  t
+
+let add_entity t ~name ~weight ~domain =
+  if weight <= 0 then invalid_arg "Cpu.add_entity: non-positive weight";
+  let e =
+    {
+      id = t.next_id;
+      name;
+      weight;
+      domain;
+      queue = Queue.create ();
+      credits = 0.;
+      boosted = false;
+      runtime = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.entities <- t.entities @ [ e ];
+  e
+
+let domain_of e = e.domain
+let name_of e = e.name
+let runtime_of e = e.runtime
+
+let runnable e = not (Queue.is_empty e.queue)
+
+(* Pop boosted entities until one is still runnable. *)
+let rec pop_boosted t =
+  match Queue.take_opt t.boost_fifo with
+  | None -> None
+  | Some e ->
+      e.boosted <- false;
+      if runnable e then Some e else pop_boosted t
+
+let best_by_credits t =
+  List.fold_left
+    (fun best e ->
+      if not (runnable e) then best
+      else
+        match best with
+        | None -> Some e
+        | Some b -> if e.credits > b.credits then Some e else best)
+    None t.entities
+
+let pick_entity t =
+  (* Stickiness: keep the current entity while it has work, its slice is
+     not exhausted, and no boosted entity is waiting. *)
+  let boosted_waiting = not (Queue.is_empty t.boost_fifo) in
+  match t.current with
+  | Some e
+    when runnable e
+         && (not boosted_waiting)
+         && Sim.Time.compare t.slice_used t.slice < 0 ->
+      Some e
+  | _ -> (
+      match pop_boosted t with
+      | Some e -> Some e
+      | None -> best_by_credits t)
+
+let rec dispatch t =
+  if t.busy then ()
+  else if not (Queue.is_empty t.irq_queue) then begin
+    let w = Queue.pop t.irq_queue in
+    execute t w ~entity:None ~switch:0
+  end
+  else
+    match pick_entity t with
+    | None -> () (* CPU idles until the next post wakes it. *)
+    | Some e ->
+        let switch =
+          match t.current with
+          | Some cur when cur == e -> 0
+          | _ ->
+              t.switches <- t.switches + 1;
+              t.ctx_switch_cost
+        in
+        if
+          (match t.current with Some cur -> cur != e | None -> true)
+        then begin
+          t.current <- Some e;
+          t.slice_used <- 0
+        end;
+        let w = Queue.pop e.queue in
+        execute t w ~entity:(Some e) ~switch
+
+and execute t w ~entity ~switch =
+  t.busy <- true;
+  let total = Sim.Time.add switch w.cost in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:total (fun () ->
+         if switch > 0 then Profile.add t.profile Category.Hypervisor switch;
+         Profile.add t.profile w.category w.cost;
+         t.total_busy <- Sim.Time.add t.total_busy total;
+         (match entity with
+         | Some e ->
+             e.runtime <- Sim.Time.add e.runtime total;
+             e.credits <- e.credits -. Sim.Time.to_us_f total;
+             t.slice_used <- Sim.Time.add t.slice_used total
+         | None -> ());
+         t.busy <- false;
+         w.fn ();
+         dispatch t))
+
+let post t e ~category ~cost fn =
+  if cost < 0 then invalid_arg "Cpu.post: negative cost";
+  let was_blocked = Queue.is_empty e.queue in
+  Queue.push { cost; category; fn } e.queue;
+  (* Boost-on-wake, like Xen's credit scheduler: a blocked entity that
+     receives an event runs ahead of entities burning their timeslice. *)
+  if was_blocked && (not e.boosted)
+     && (match t.current with Some cur -> cur != e | None -> true)
+  then begin
+    e.boosted <- true;
+    Queue.push e t.boost_fifo
+  end;
+  dispatch t
+
+let post_irq t ~cost fn =
+  if cost < 0 then invalid_arg "Cpu.post_irq: negative cost";
+  Queue.push { cost; category = Category.Hypervisor; fn } t.irq_queue;
+  dispatch t
+
+let is_idle t =
+  (not t.busy)
+  && Queue.is_empty t.irq_queue
+  && List.for_all (fun e -> Queue.is_empty e.queue) t.entities
+
+let total_busy t = t.total_busy
+let ctx_switches t = t.switches

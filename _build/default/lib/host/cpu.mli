@@ -1,0 +1,66 @@
+(** Single-CPU execution model with a Xen-like credit scheduler.
+
+    The paper's testbed is a single Opteron shared by the hypervisor, the
+    driver domain and all guests; where CPU time goes is the core of the
+    evaluation. This module executes {e work items} — [(cost, category,
+    continuation)] — one at a time on simulated time:
+
+    - {b IRQ work} ({!post_irq}) models physical-interrupt handling in the
+      hypervisor: it runs before any domain work (at item boundaries; items
+      are microsecond-scale, matching real interrupt latency).
+    - {b Domain work} ({!post}) queues on a schedulable {!entity} (a vcpu).
+      Entities are multiplexed by a credit scheduler: weighted proportional
+      share with boost-on-wake (a blocked entity that receives work is
+      scheduled with priority once, like Xen's BOOST state), a stickiness
+      slice to bound context-switch churn, and a per-switch cost charged to
+      the hypervisor.
+
+    Every executed item is charged to its {!Category.t} in the profile, so
+    the experiment harness can reproduce Xenoprof's execution profiles. *)
+
+type t
+type entity
+
+val create :
+  Sim.Engine.t ->
+  ?ctx_switch_cost:Sim.Time.t ->
+  (* default 2.5 us: switch plus amortized cache/TLB refill *)
+  ?slice:Sim.Time.t ->
+  (* default 1 ms *)
+  ?credit_period:Sim.Time.t ->
+  (* default 30 ms *)
+  profile:Profile.t ->
+  unit ->
+  t
+
+(** [add_entity t ~name ~weight ~domain] registers a schedulable vcpu for
+    [domain]. [weight] is the credit-scheduler weight (Xen default 256). *)
+val add_entity :
+  t -> name:string -> weight:int -> domain:Category.domain_id -> entity
+
+val domain_of : entity -> Category.domain_id
+val name_of : entity -> string
+
+(** Cumulative CPU time the entity has executed. *)
+val runtime_of : entity -> Sim.Time.t
+
+(** [post t e ~category ~cost fn] queues a work item on entity [e]. When the
+    item completes, [cost] is charged to [category] and [fn] runs. Posting
+    to a blocked (empty-queue) entity wakes it with boost priority.
+    @raise Invalid_argument if [cost] is negative. *)
+val post :
+  t -> entity -> category:Category.t -> cost:Sim.Time.t -> (unit -> unit) -> unit
+
+(** [post_irq t ~cost fn] queues hypervisor interrupt work; it preempts all
+    domain work at the next item boundary and is charged to
+    [Category.Hypervisor]. *)
+val post_irq : t -> cost:Sim.Time.t -> (unit -> unit) -> unit
+
+(** True when no item is executing and all queues are empty. *)
+val is_idle : t -> bool
+
+(** Total busy time executed so far (all categories, incl. switches). *)
+val total_busy : t -> Sim.Time.t
+
+(** Number of entity-to-entity context switches performed so far. *)
+val ctx_switches : t -> int

@@ -1,0 +1,90 @@
+type t = {
+  mutable hypervisor : Sim.Time.t;
+  (* Per-domain kernel/user time, keyed by domain id. *)
+  kernel : (Category.domain_id, Sim.Time.t ref) Hashtbl.t;
+  user : (Category.domain_id, Sim.Time.t ref) Hashtbl.t;
+  mutable explicit_idle : Sim.Time.t;
+}
+
+let create () =
+  {
+    hypervisor = Sim.Time.zero;
+    kernel = Hashtbl.create 32;
+    user = Hashtbl.create 32;
+    explicit_idle = Sim.Time.zero;
+  }
+
+let cell tbl dom =
+  match Hashtbl.find_opt tbl dom with
+  | Some r -> r
+  | None ->
+      let r = ref Sim.Time.zero in
+      Hashtbl.add tbl dom r;
+      r
+
+let add t cat dt =
+  match (cat : Category.t) with
+  | Hypervisor -> t.hypervisor <- Sim.Time.add t.hypervisor dt
+  | Kernel d ->
+      let r = cell t.kernel d in
+      r := Sim.Time.add !r dt
+  | User d ->
+      let r = cell t.user d in
+      r := Sim.Time.add !r dt
+  | Idle -> t.explicit_idle <- Sim.Time.add t.explicit_idle dt
+
+let total t cat =
+  match (cat : Category.t) with
+  | Hypervisor -> t.hypervisor
+  | Kernel d -> (
+      match Hashtbl.find_opt t.kernel d with Some r -> !r | None -> 0)
+  | User d -> (
+      match Hashtbl.find_opt t.user d with Some r -> !r | None -> 0)
+  | Idle -> t.explicit_idle
+
+let sum_tbl tbl = Hashtbl.fold (fun _ r acc -> Sim.Time.add acc !r) tbl 0
+
+let busy t = Sim.Time.add t.hypervisor (Sim.Time.add (sum_tbl t.kernel) (sum_tbl t.user))
+
+let reset t =
+  t.hypervisor <- Sim.Time.zero;
+  Hashtbl.reset t.kernel;
+  Hashtbl.reset t.user;
+  t.explicit_idle <- Sim.Time.zero
+
+type report = {
+  hyp : float;
+  driver_kernel : float;
+  driver_user : float;
+  guest_kernel : float;
+  guest_user : float;
+  idle : float;
+}
+
+let report t ~window ~driver_domain =
+  if window <= 0 then invalid_arg "Profile.report: non-positive window";
+  let w = Sim.Time.to_sec_f window in
+  let pct dt = Sim.Time.to_sec_f dt /. w *. 100. in
+  let split tbl =
+    Hashtbl.fold
+      (fun dom r (drv, guest) ->
+        if Some dom = driver_domain then (Sim.Time.add drv !r, guest)
+        else (drv, Sim.Time.add guest !r))
+      tbl (0, 0)
+  in
+  let drv_k, guest_k = split t.kernel in
+  let drv_u, guest_u = split t.user in
+  let idle = Float.max 0. (100. -. pct (busy t)) in
+  {
+    hyp = pct t.hypervisor;
+    driver_kernel = pct drv_k;
+    driver_user = pct drv_u;
+    guest_kernel = pct guest_k;
+    guest_user = pct guest_u;
+    idle;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "hyp=%.1f%% drv-os=%.1f%% drv-user=%.1f%% guest-os=%.1f%% guest-user=%.1f%% idle=%.1f%%"
+    r.hyp r.driver_kernel r.driver_user r.guest_kernel r.guest_user r.idle

@@ -1,0 +1,40 @@
+(** Execution-time profile (Xenoprof equivalent).
+
+    Accumulates CPU busy time per {!Category.t}. The experiment harness
+    resets the profile after warm-up and reads a {!report} at the end of the
+    measured window, reproducing the "Domain Execution Profile" columns of
+    the paper's Tables 2-4. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t cat dt] charges [dt] of CPU time to [cat]. *)
+val add : t -> Category.t -> Sim.Time.t -> unit
+
+(** Total time charged to a category so far. *)
+val total : t -> Category.t -> Sim.Time.t
+
+(** Sum over all non-idle categories. *)
+val busy : t -> Sim.Time.t
+
+(** Drop all accumulated time (used at the end of warm-up). *)
+val reset : t -> unit
+
+(** Fractions of a measurement window, in percent, in the paper's layout. *)
+type report = {
+  hyp : float;
+  driver_kernel : float;
+  driver_user : float;
+  guest_kernel : float;
+  guest_user : float;
+  idle : float;
+}
+
+(** [report t ~window ~driver_domain] splits busy time between the driver
+    domain (if any) and all other domains, and derives idle as the
+    unaccounted remainder of [window].
+    @raise Invalid_argument if [window] is not positive. *)
+val report : t -> window:Sim.Time.t -> driver_domain:Category.domain_id option -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/memory/desc_layout.ml: Bytes Char Dma_desc Format List Phys_mem Printf

@@ -1,0 +1,1 @@
+lib/memory/desc_layout.mli: Addr Dma_desc Format Phys_mem

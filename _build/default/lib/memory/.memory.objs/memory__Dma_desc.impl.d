@@ -1,0 +1,1 @@
+lib/memory/dma_desc.ml: Addr Format Phys_mem

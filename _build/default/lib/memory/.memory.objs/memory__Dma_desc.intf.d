@@ -1,0 +1,1 @@
+lib/memory/dma_desc.mli: Addr Format Phys_mem

@@ -1,0 +1,1 @@
+lib/memory/page.ml: Addr Format Printf

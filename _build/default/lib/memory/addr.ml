@@ -1,0 +1,19 @@
+type t = int
+type pfn = int
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let pfn_of a = a lsr page_shift
+let base_of_pfn p = p lsl page_shift
+let offset a = a land (page_size - 1)
+
+let pages_spanned ~addr ~len =
+  if len < 0 then invalid_arg "Addr.pages_spanned: negative length";
+  if len = 0 then []
+  else begin
+    let first = pfn_of addr and last = pfn_of (addr + len - 1) in
+    let rec build p acc = if p < first then acc else build (p - 1) (p :: acc) in
+    build last []
+  end
+
+let pp ppf a = Format.fprintf ppf "0x%x" a

@@ -1,0 +1,18 @@
+type context_id = int
+
+type t = { table : (context_id * Addr.pfn, unit) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 1024 }
+
+let grant t ~context pfn =
+  if not (Hashtbl.mem t.table (context, pfn)) then
+    Hashtbl.add t.table (context, pfn) ()
+
+let revoke t ~context pfn = Hashtbl.remove t.table (context, pfn)
+
+let revoke_context t ~context =
+  Hashtbl.iter (fun (c, p) () -> if c = context then Hashtbl.remove t.table (c, p))
+    (Hashtbl.copy t.table)
+
+let allowed t ~context pfn = Hashtbl.mem t.table (context, pfn)
+let entries t = Hashtbl.length t.table

@@ -1,0 +1,31 @@
+(** Per-context IOMMU model.
+
+    The paper's section 5.3 discusses replacing CDNA's software DMA
+    protection with a context-aware IOMMU (extending AMD's proposed
+    per-device IOMMU to a per-context basis). This module provides that
+    hardware: a table mapping [(context, pfn)] to an access permission that
+    the DMA engine consults on every transfer when an IOMMU is installed.
+
+    Used by the ablation benchmarks comparing hypercall validation against
+    IOMMU-based protection. *)
+
+type context_id = int
+
+type t
+
+val create : unit -> t
+
+(** [grant t ~context pfn] permits DMA to/from [pfn] for [context]. *)
+val grant : t -> context:context_id -> Addr.pfn -> unit
+
+(** [revoke t ~context pfn] removes a single permission (no-op if absent). *)
+val revoke : t -> context:context_id -> Addr.pfn -> unit
+
+(** [revoke_context t ~context] removes all permissions of a context. *)
+val revoke_context : t -> context:context_id -> unit
+
+(** [allowed t ~context pfn] checks a DMA access. *)
+val allowed : t -> context:context_id -> Addr.pfn -> bool
+
+(** Number of live [(context, pfn)] entries. *)
+val entries : t -> int

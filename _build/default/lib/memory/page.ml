@@ -1,0 +1,63 @@
+type domain_id = int
+type state = Free | Owned of domain_id | Quarantined of domain_id
+
+type t = {
+  pfn : Addr.pfn;
+  mutable state : state;
+  mutable refcount : int;
+}
+
+let create ~pfn = { pfn; state = Free; refcount = 0 }
+let pfn t = t.pfn
+let state t = t.state
+let refcount t = t.refcount
+
+let set_owned t dom =
+  match t.state with
+  | Free -> t.state <- Owned dom
+  | Owned _ | Quarantined _ ->
+      invalid_arg "Page.set_owned: page not free"
+
+let release t =
+  match t.state with
+  | Owned d ->
+      if t.refcount = 0 then t.state <- Free else t.state <- Quarantined d
+  | Free | Quarantined _ -> invalid_arg "Page.release: page not owned"
+
+let transfer t dom =
+  match t.state with
+  | Owned _ ->
+      if t.refcount > 0 then Error `Pinned
+      else begin
+        t.state <- Owned dom;
+        Ok ()
+      end
+  | Free | Quarantined _ -> invalid_arg "Page.transfer: page not owned"
+
+let get_ref t =
+  match t.state with
+  | Free -> invalid_arg "Page.get_ref: free page"
+  | Owned _ | Quarantined _ -> t.refcount <- t.refcount + 1
+
+let put_ref t =
+  if t.refcount <= 0 then invalid_arg "Page.put_ref: refcount already zero";
+  t.refcount <- t.refcount - 1;
+  match t.state with
+  | Quarantined _ when t.refcount = 0 ->
+      t.state <- Free;
+      `Now_free
+  | Free | Owned _ | Quarantined _ -> `Still_held
+
+let is_owned_by t dom =
+  match t.state with
+  | Owned d -> d = dom
+  | Free | Quarantined _ -> false
+
+let pp ppf t =
+  let state =
+    match t.state with
+    | Free -> "free"
+    | Owned d -> Printf.sprintf "owned(dom%d)" d
+    | Quarantined d -> Printf.sprintf "quarantined(dom%d)" d
+  in
+  Format.fprintf ppf "pfn=%d %s refs=%d" t.pfn state t.refcount

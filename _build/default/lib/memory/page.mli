@@ -1,0 +1,51 @@
+(** Per-page metadata: ownership and reference counting.
+
+    Equivalent of Xen's [page_info]: each physical page has an owning domain
+    and a reference count. The CDNA hypervisor pins pages under outstanding
+    DMA by holding a reference, which blocks reallocation (paper section
+    3.3). Domains are identified by small integers. *)
+
+type domain_id = int
+
+type state =
+  | Free  (** On the allocator free list. *)
+  | Owned of domain_id
+  | Quarantined of domain_id
+      (** Freed by its owner while references were outstanding; withheld
+          from reallocation until the count drops to zero. The domain is
+          the previous owner (for diagnostics). *)
+
+type t
+
+val create : pfn:Addr.pfn -> t
+val pfn : t -> Addr.pfn
+val state : t -> state
+val refcount : t -> int
+
+(** [set_owned p dom] transitions a [Free] page to [Owned dom].
+    @raise Invalid_argument if the page is not free. *)
+val set_owned : t -> domain_id -> unit
+
+(** [release p] frees an [Owned] page: to [Free] if unreferenced, else to
+    [Quarantined].
+    @raise Invalid_argument if the page is not owned. *)
+val release : t -> unit
+
+(** [transfer p dom] reassigns an [Owned], unreferenced page to [dom]
+    (page flipping). Returns [Error `Pinned] if references are
+    outstanding.
+    @raise Invalid_argument if the page is not owned. *)
+val transfer : t -> domain_id -> (unit, [ `Pinned ]) result
+
+(** [get_ref p] increments the reference count.
+    @raise Invalid_argument on a [Free] page. *)
+val get_ref : t -> unit
+
+(** [put_ref p] decrements the count. Returns [`Now_free] when this drops a
+    quarantined page to zero references (the allocator must reclaim it),
+    [`Still_held] otherwise.
+    @raise Invalid_argument if the count is already zero. *)
+val put_ref : t -> [ `Now_free | `Still_held ]
+
+val is_owned_by : t -> domain_id -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+type t = {
+  total_pages : int;
+  pages : (Addr.pfn, Page.t) Hashtbl.t;
+  contents : (Addr.pfn, Bytes.t) Hashtbl.t;
+  mutable free_list : Addr.pfn list;
+  mutable free_count : int;
+}
+
+let create ~total_pages () =
+  if total_pages <= 0 then invalid_arg "Phys_mem.create: no pages";
+  let rec build p acc = if p < 0 then acc else build (p - 1) (p :: acc) in
+  {
+    total_pages;
+    pages = Hashtbl.create 4096;
+    contents = Hashtbl.create 4096;
+    free_list = build (total_pages - 1) [];
+    free_count = total_pages;
+  }
+
+let total_pages t = t.total_pages
+let free_pages t = t.free_count
+
+let page t pfn =
+  if pfn < 0 || pfn >= t.total_pages then
+    invalid_arg "Phys_mem.page: pfn out of range";
+  match Hashtbl.find_opt t.pages pfn with
+  | Some p -> p
+  | None ->
+      let p = Page.create ~pfn in
+      Hashtbl.add t.pages pfn p;
+      p
+
+let alloc t ~owner ~count =
+  if count < 0 then invalid_arg "Phys_mem.alloc: negative count";
+  if count > t.free_count then Error `Out_of_memory
+  else begin
+    let rec take n l acc =
+      if n = 0 then (List.rev acc, l)
+      else
+        match l with
+        | [] -> (List.rev acc, []) (* unreachable: free_count guards *)
+        | p :: rest -> take (n - 1) rest (p :: acc)
+    in
+    let taken, rest = take count t.free_list [] in
+    t.free_list <- rest;
+    t.free_count <- t.free_count - count;
+    List.iter (fun pfn -> Page.set_owned (page t pfn) owner) taken;
+    Ok taken
+  end
+
+let reclaim t pfn =
+  t.free_list <- pfn :: t.free_list;
+  t.free_count <- t.free_count + 1;
+  (* Freshly reallocated pages must not leak previous contents. *)
+  Hashtbl.remove t.contents pfn
+
+let free t pfn =
+  let p = page t pfn in
+  Page.release p;
+  match Page.state p with
+  | Free -> reclaim t pfn
+  | Quarantined _ -> ()
+  | Owned _ -> assert false
+
+let transfer t pfn ~to_ = Page.transfer (page t pfn) to_
+let get_ref t pfn = Page.get_ref (page t pfn)
+
+let put_ref t pfn =
+  match Page.put_ref (page t pfn) with
+  | `Now_free -> reclaim t pfn
+  | `Still_held -> ()
+
+let owned_by t pfn dom =
+  pfn >= 0 && pfn < t.total_pages && Page.is_owned_by (page t pfn) dom
+
+let backing t pfn =
+  match Hashtbl.find_opt t.contents pfn with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make Addr.page_size '\000' in
+      Hashtbl.add t.contents pfn b;
+      b
+
+let check_range t ~addr ~len =
+  if len < 0 then invalid_arg "Phys_mem: negative length";
+  if addr < 0 || addr + len > t.total_pages * Addr.page_size then
+    invalid_arg "Phys_mem: address range out of bounds"
+
+let read t ~addr ~len =
+  check_range t ~addr ~len;
+  let out = Bytes.create len in
+  let rec copy addr pos remaining =
+    if remaining > 0 then begin
+      let pfn = Addr.pfn_of addr in
+      let off = Addr.offset addr in
+      let chunk = min remaining (Addr.page_size - off) in
+      Bytes.blit (backing t pfn) off out pos chunk;
+      copy (addr + chunk) (pos + chunk) (remaining - chunk)
+    end
+  in
+  copy addr 0 len;
+  out
+
+let write t ~addr data =
+  let len = Bytes.length data in
+  check_range t ~addr ~len;
+  let rec copy addr pos remaining =
+    if remaining > 0 then begin
+      let pfn = Addr.pfn_of addr in
+      let off = Addr.offset addr in
+      let chunk = min remaining (Addr.page_size - off) in
+      Bytes.blit data pos (backing t pfn) off chunk;
+      copy (addr + chunk) (pos + chunk) (remaining - chunk)
+    end
+  in
+  copy addr 0 len
+
+let read_uint t ~addr ~bytes =
+  let b = read t ~addr ~len:bytes in
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) ((acc lsl 8) lor Char.code (Bytes.get b i))
+  in
+  build (bytes - 1) 0
+
+let write_uint t ~addr ~bytes v =
+  let b = Bytes.create bytes in
+  for i = 0 to bytes - 1 do
+    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
+  done;
+  write t ~addr b
+
+let read_u16 t ~addr = read_uint t ~addr ~bytes:2
+let write_u16 t ~addr v = write_uint t ~addr ~bytes:2 v
+let read_u32 t ~addr = read_uint t ~addr ~bytes:4
+let write_u32 t ~addr v = write_uint t ~addr ~bytes:4 v
+let read_u64 t ~addr = read_uint t ~addr ~bytes:8
+let write_u64 t ~addr v = write_uint t ~addr ~bytes:8 v
+let materialized_pages t = Hashtbl.length t.contents

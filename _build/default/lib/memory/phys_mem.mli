@@ -1,0 +1,72 @@
+(** Simulated host physical memory.
+
+    A flat physical address space of 4 KB pages with per-page ownership and
+    reference counting ({!Page}), a free-list allocator, and real byte
+    contents. Contents are materialized lazily — guests in the experiments
+    only touch network-buffer pages, so a 4 GB machine costs only what is
+    actually written.
+
+    DMA in the simulator goes through {!read}/{!write}, so a protection bug
+    (or a deliberately disabled protection mode, as in the paper's Table 4
+    experiment) corrupts real simulated memory that tests can observe. *)
+
+type t
+
+(** [create ~total_pages ()] builds a memory of [total_pages] 4 KB pages,
+    all initially free. *)
+val create : total_pages:int -> unit -> t
+
+val total_pages : t -> int
+val free_pages : t -> int
+
+(** Page metadata. @raise Invalid_argument if [pfn] is out of range. *)
+val page : t -> Addr.pfn -> Page.t
+
+(** {1 Allocation} *)
+
+(** [alloc t ~owner ~count] takes [count] free pages for domain [owner].
+    Returns [Error `Out_of_memory] (allocating nothing) if not enough
+    pages are free. *)
+val alloc : t -> owner:Page.domain_id -> count:int -> (Addr.pfn list, [ `Out_of_memory ]) result
+
+(** [free t pfn] releases a page back to the allocator. If the page has
+    outstanding references (pinned by DMA), it is quarantined and returns
+    to the free list only when the last reference is dropped.
+    @raise Invalid_argument if the page is not owned. *)
+val free : t -> Addr.pfn -> unit
+
+(** [transfer t pfn ~to_] flips ownership of an owned, unreferenced page
+    to another domain without passing through the free list.
+    @raise Invalid_argument if the page is not owned. *)
+val transfer : t -> Addr.pfn -> to_:Page.domain_id -> (unit, [ `Pinned ]) result
+
+(** {1 Reference counting (DMA pinning)} *)
+
+(** @raise Invalid_argument if the page is free. *)
+val get_ref : t -> Addr.pfn -> unit
+
+(** Decrement; reclaims quarantined pages that drop to zero. *)
+val put_ref : t -> Addr.pfn -> unit
+
+(** [owned_by t pfn dom] is true iff [pfn] is currently owned by [dom]. *)
+val owned_by : t -> Addr.pfn -> Page.domain_id -> bool
+
+(** {1 Byte access}
+
+    Ranges may span pages. @raise Invalid_argument on out-of-range
+    accesses or negative lengths. *)
+
+val read : t -> addr:Addr.t -> len:int -> Bytes.t
+val write : t -> addr:Addr.t -> Bytes.t -> unit
+
+(** Fixed-width little-endian accessors used by descriptor rings. *)
+
+val read_u16 : t -> addr:Addr.t -> int
+val write_u16 : t -> addr:Addr.t -> int -> unit
+val read_u32 : t -> addr:Addr.t -> int
+val write_u32 : t -> addr:Addr.t -> int -> unit
+val read_u64 : t -> addr:Addr.t -> int
+val write_u64 : t -> addr:Addr.t -> int -> unit
+
+(** Number of pages whose contents have been materialized (for tests). *)
+val materialized_pages : t -> int

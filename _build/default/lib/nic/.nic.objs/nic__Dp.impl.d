@@ -1,0 +1,1 @@
+lib/nic/dp.ml: Array Bus Bytes Char Ethernet Hashtbl List Memory Nic_config Option Pkt_buf Printf Queue Ring Sim

@@ -1,0 +1,1 @@
+lib/nic/dp.mli: Bus Ethernet Memory Nic_config Ring Sim

@@ -1,0 +1,1 @@
+lib/nic/driver_if.mli: Ethernet Memory Ring

@@ -1,0 +1,1 @@
+lib/nic/firmware.ml: Array Bus Dp Driver_if Mailbox Memory Nic_config Option Printf Ring Sim

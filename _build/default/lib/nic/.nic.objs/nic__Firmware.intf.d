@@ -1,0 +1,1 @@
+lib/nic/firmware.mli: Bus Dp Driver_if Mailbox Sim

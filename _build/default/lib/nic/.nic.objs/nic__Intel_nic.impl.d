@@ -1,0 +1,1 @@
+lib/nic/intel_nic.ml: Bus Coalesce Dp Driver_if Nic_config

@@ -1,0 +1,1 @@
+lib/nic/intel_nic.mli: Bus Dp Driver_if Ethernet Memory Nic_config Sim

@@ -1,0 +1,1 @@
+lib/nic/mailbox.ml: Array Bus

@@ -1,0 +1,1 @@
+lib/nic/nic_config.ml: Format Memory Sim

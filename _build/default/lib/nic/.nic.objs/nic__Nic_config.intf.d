@@ -1,0 +1,1 @@
+lib/nic/nic_config.mli: Format Memory Sim

@@ -1,0 +1,1 @@
+lib/nic/pkt_buf.mli:

@@ -1,0 +1,1 @@
+lib/nic/ricenic.ml: Bus Coalesce Dp Firmware Nic_config

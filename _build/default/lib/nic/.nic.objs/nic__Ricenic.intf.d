@@ -1,0 +1,1 @@
+lib/nic/ricenic.mli: Bus Dp Driver_if Ethernet Firmware Memory Nic_config Sim

@@ -1,0 +1,46 @@
+type t = {
+  engine : Sim.Engine.t;
+  min_gap : Sim.Time.t;
+  fire : unit -> unit;
+  mutable last_fire : Sim.Time.t;
+  mutable armed : bool;
+  mutable fired : int;
+  mutable suppressed : int;
+  mutable ever_fired : bool;
+}
+
+let create engine ~min_gap ~fire =
+  {
+    engine;
+    min_gap;
+    fire;
+    last_fire = Sim.Time.zero;
+    armed = false;
+    fired = 0;
+    suppressed = 0;
+    ever_fired = false;
+  }
+
+let deliver t =
+  t.armed <- false;
+  t.last_fire <- Sim.Engine.now t.engine;
+  t.ever_fired <- true;
+  t.fired <- t.fired + 1;
+  t.fire ()
+
+let request t =
+  if t.armed then t.suppressed <- t.suppressed + 1
+  else begin
+    let now = Sim.Engine.now t.engine in
+    let allowed =
+      if not t.ever_fired then now else Sim.Time.add t.last_fire t.min_gap
+    in
+    if Sim.Time.compare allowed now <= 0 then deliver t
+    else begin
+      t.armed <- true;
+      ignore (Sim.Engine.schedule_at t.engine allowed (fun () -> deliver t))
+    end
+  end
+
+let fired t = t.fired
+let suppressed t = t.suppressed

@@ -1,0 +1,657 @@
+type fault =
+  | Seqno_mismatch of { expected : int; got : int }
+  | Missing_meta
+  | Dma_fault of Bus.Dma_engine.fault
+
+type dir = Tx | Rx
+
+(* Maximum Ethernet frame footprint used for optimistic buffer
+   reservation in the transmit pipeline. *)
+let max_frame_bytes = 1538
+let ready_depth = 4
+let seqno_mod = 1 lsl 16
+
+type ctx = {
+  id : int;
+  mutable active : bool;
+  mutable faulted : bool;
+  mutable epoch : int;
+  mutable mac : Ethernet.Mac_addr.t option;
+  mutable tx_ring : Ring.t option;
+  mutable rx_ring : Ring.t option;
+  mutable status_addr : Memory.Addr.t option;
+  (* Free-running indices. [*_prod] is the driver's published producer;
+     [tx_fetch_next]/[rx_use_next] are the firmware cursors; [*_cons] count
+     fully completed descriptors. *)
+  mutable tx_prod : int;
+  mutable tx_fetch_next : int;
+  mutable tx_cons : int;
+  mutable rx_prod : int;
+  mutable rx_use_next : int;
+  mutable rx_cons : int;
+  mutable tx_expected_seqno : int;
+  mutable rx_expected_seqno : int;
+  tx_meta : Ethernet.Frame.t Queue.t;
+  (* Scatter/gather: payload fragments (bytes when materializing) of the
+     packet being assembled, most recent first, until a descriptor with
+     the end-of-packet flag arrives. *)
+  mutable sg_frags : Bytes.t option list;
+  mutable sg_frag_descs : int;
+  rx_backlog : (Ethernet.Frame.t * int) Queue.t; (* frame, epoch *)
+  mutable tx_completed_unread : int;
+  rx_completions : (int * Ethernet.Frame.t) Queue.t;
+  mutable tx_frames : int;
+  mutable rx_frames : int;
+}
+
+type stats = {
+  tx_frames : int;
+  tx_bytes : int;
+  rx_frames : int;
+  rx_bytes : int;
+  rx_no_ctx_drops : int;
+  rx_overflow_drops : int;
+  faults : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  mem : Memory.Phys_mem.t;
+  dma : Bus.Dma_engine.t;
+  cfg : Nic_config.t;
+  dma_context_base : int;
+  notify : ctx:int -> unit;
+  on_fault : ctx:int -> dir -> fault -> unit;
+  ctxs : ctx array;
+  mac_table : (Ethernet.Mac_addr.t, int) Hashtbl.t;
+  mutable promiscuous : int option;
+  tx_buf : Pkt_buf.t;
+  rx_buf : Pkt_buf.t;
+  mutable link : (Ethernet.Link.t * Ethernet.Link.side) option;
+  (* Transmit pipeline: fetch stage feeding a small ready FIFO ahead of the
+     wire stage. *)
+  ready : (int * int * Ethernet.Frame.t * int * int) Queue.t;
+  (* ctx id, epoch, frame, reserved bytes, descriptors consumed *)
+  mutable fetch_busy : bool;
+  mutable fetch_ctx : int option; (* context the in-flight fetch serves *)
+  mutable wire_busy : bool;
+  mutable tx_rr : int;
+  mutable rx_busy : bool;
+  mutable rx_rr : int;
+  mutable congested : bool;
+  mutable uncongested_hook : unit -> unit;
+  (* aggregate statistics *)
+  mutable s_tx_frames : int;
+  mutable s_tx_bytes : int;
+  mutable s_rx_frames : int;
+  mutable s_rx_bytes : int;
+  mutable s_no_ctx : int;
+  mutable s_overflow : int;
+  mutable s_faults : int;
+}
+
+let make_ctx id =
+  {
+    id;
+    active = false;
+    faulted = false;
+    epoch = 0;
+    mac = None;
+    tx_ring = None;
+    rx_ring = None;
+    status_addr = None;
+    tx_prod = 0;
+    tx_fetch_next = 0;
+    tx_cons = 0;
+    rx_prod = 0;
+    rx_use_next = 0;
+    rx_cons = 0;
+    tx_expected_seqno = 0;
+    rx_expected_seqno = 0;
+    tx_meta = Queue.create ();
+    sg_frags = [];
+    sg_frag_descs = 0;
+    rx_backlog = Queue.create ();
+    tx_completed_unread = 0;
+    rx_completions = Queue.create ();
+    tx_frames = 0;
+    rx_frames = 0;
+  }
+
+let create engine ~mem ~dma ~config ~contexts ~dma_context_base ~notify
+    ~on_fault () =
+  if contexts <= 0 || contexts > 32 then
+    invalid_arg "Dp.create: contexts out of range";
+  {
+    engine;
+    mem;
+    dma;
+    cfg = config;
+    dma_context_base;
+    notify;
+    on_fault;
+    ctxs = Array.init contexts make_ctx;
+    mac_table = Hashtbl.create 64;
+    promiscuous = None;
+    tx_buf = Pkt_buf.create ~capacity:config.Nic_config.tx_buffer_bytes;
+    rx_buf = Pkt_buf.create ~capacity:config.Nic_config.rx_buffer_bytes;
+    link = None;
+    ready = Queue.create ();
+    fetch_busy = false;
+    fetch_ctx = None;
+    wire_busy = false;
+    tx_rr = 0;
+    rx_busy = false;
+    rx_rr = 0;
+    congested = false;
+    uncongested_hook = (fun () -> ());
+    s_tx_frames = 0;
+    s_tx_bytes = 0;
+    s_rx_frames = 0;
+    s_rx_bytes = 0;
+    s_no_ctx = 0;
+    s_overflow = 0;
+    s_faults = 0;
+  }
+
+let config t = t.cfg
+let contexts t = Array.length t.ctxs
+let dma t = t.dma
+
+let ctx t i =
+  if i < 0 || i >= Array.length t.ctxs then
+    invalid_arg "Dp: context out of range";
+  t.ctxs.(i)
+
+let dma_ctx t (c : ctx) = t.dma_context_base + c.id
+
+let trace t fmt_msg =
+  Sim.Trace.emit ~time:(Sim.Engine.now t.engine) ~tag:t.cfg.Nic_config.name
+    fmt_msg
+
+let fault t (c : ctx) dir f =
+  t.s_faults <- t.s_faults + 1;
+  c.faulted <- true;
+  trace t (fun () ->
+      Printf.sprintf "protection fault ctx=%d dir=%s" c.id
+        (match dir with Tx -> "tx" | Rx -> "rx"));
+  t.on_fault ~ctx:c.id dir f
+
+(* Congestion watermarks: pause above 3/4, resume below 1/2. *)
+let hi_watermark t = Pkt_buf.capacity t.rx_buf * 3 / 4
+let lo_watermark t = Pkt_buf.capacity t.rx_buf / 2
+
+let release_rx_bytes t bytes =
+  Pkt_buf.release t.rx_buf ~bytes;
+  if t.congested && Pkt_buf.in_use t.rx_buf <= lo_watermark t then begin
+    t.congested <- false;
+    t.uncongested_hook ()
+  end
+
+let reserve_rx_bytes t bytes =
+  if Pkt_buf.try_reserve t.rx_buf ~bytes then begin
+    if Pkt_buf.in_use t.rx_buf >= hi_watermark t then t.congested <- true;
+    true
+  end
+  else false
+
+(* Sequence-number continuity check (paper section 3.3). *)
+let seqno_ok ~expected ~got = got = expected mod seqno_mod
+
+let check_seqno t c dir (desc : Memory.Dma_desc.t) =
+  if not t.cfg.Nic_config.seqno_checking then true
+  else begin
+    let expected =
+      match dir with Tx -> c.tx_expected_seqno | Rx -> c.rx_expected_seqno
+    in
+    if seqno_ok ~expected ~got:desc.seqno then begin
+      (match dir with
+      | Tx -> c.tx_expected_seqno <- (expected + 1) mod seqno_mod
+      | Rx -> c.rx_expected_seqno <- (expected + 1) mod seqno_mod);
+      true
+    end
+    else begin
+      fault t c dir
+        (Seqno_mismatch { expected = expected mod seqno_mod; got = desc.seqno });
+      false
+    end
+  end
+
+let writeback_status t (c : ctx) =
+  match c.status_addr with
+  | None -> ()
+  | Some addr ->
+      let b = Bytes.create 8 in
+      let put32 off v =
+        for i = 0 to 3 do
+          Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+        done
+      in
+      put32 0 (c.tx_cons land 0xFFFFFFFF);
+      put32 4 (c.rx_cons land 0xFFFFFFFF);
+      Bus.Dma_engine.write t.dma ~context:(dma_ctx t c) ~addr ~data:b
+        (fun _ -> ())
+
+(* ---------- Transmit pipeline ---------- *)
+
+let tx_work_available (c : ctx) =
+  c.active && (not c.faulted) && c.tx_ring <> None
+  && c.tx_fetch_next < c.tx_prod
+
+(* Round-robin pick of the next context with transmit work: the CDNA NIC
+   "services all of the hardware contexts fairly". *)
+let pick_ctx t ~rr ~has_work =
+  let n = Array.length t.ctxs in
+  let rec scan i remaining =
+    if remaining = 0 then None
+    else begin
+      let c = t.ctxs.(i mod n) in
+      if has_work c then Some c else scan (i + 1) (remaining - 1)
+    end
+  in
+  scan (rr + 1) n
+
+let rec run_tx_fetch t =
+  if t.fetch_busy || Queue.length t.ready >= ready_depth then ()
+  else
+    match pick_ctx t ~rr:t.tx_rr ~has_work:tx_work_available with
+    | None -> ()
+    | Some c ->
+        let first_fragment = c.sg_frags = [] in
+        if
+          first_fragment
+          && Pkt_buf.in_use t.tx_buf + max_frame_bytes
+             > Pkt_buf.capacity t.tx_buf
+        then () (* stalled until the wire stage frees buffer space *)
+        else begin
+          t.tx_rr <- c.id;
+          if first_fragment then
+            ignore (Pkt_buf.try_reserve t.tx_buf ~bytes:max_frame_bytes);
+          t.fetch_busy <- true;
+          t.fetch_ctx <- Some c.id;
+          let epoch = c.epoch in
+          let idx = c.tx_fetch_next in
+          c.tx_fetch_next <- idx + 1;
+          let ring = Option.get c.tx_ring in
+          let daddr = Ring.slot_addr ring idx in
+          Bus.Dma_engine.access t.dma ~context:(dma_ctx t c) ~addr:daddr
+            ~len:t.cfg.Nic_config.desc_layout.Memory.Desc_layout.size
+            (fun res -> fetch_descriptor_done t c ~epoch ~daddr res)
+        end
+
+and abandon_fetch t c =
+  c.sg_frags <- [];
+  c.sg_frag_descs <- 0;
+  Pkt_buf.release t.tx_buf ~bytes:max_frame_bytes;
+  t.fetch_busy <- false;
+  t.fetch_ctx <- None;
+  run_tx_fetch t
+
+and fetch_descriptor_done t c ~epoch ~daddr res =
+  if c.epoch <> epoch then abandon_fetch t c
+  else
+    match res with
+    | Error e ->
+        fault t c Tx (Dma_fault e);
+        abandon_fetch t c
+    | Ok () ->
+        let desc =
+          Memory.Desc_layout.read t.cfg.Nic_config.desc_layout t.mem ~at:daddr
+        in
+        if not (check_seqno t c Tx desc) then abandon_fetch t c
+        else begin
+          let fetch_payload k =
+            if t.cfg.Nic_config.materialize_payloads then
+              Bus.Dma_engine.read t.dma ~context:(dma_ctx t c) ~addr:desc.addr
+                ~len:desc.len (function
+                | Error e -> k (Error e)
+                | Ok bytes -> k (Ok (Some bytes)))
+            else
+              Bus.Dma_engine.access t.dma ~context:(dma_ctx t c)
+                ~addr:desc.addr ~len:desc.len (function
+                | Error e -> k (Error e)
+                | Ok () -> k (Ok None))
+          in
+          fetch_payload (fun res ->
+              if c.epoch <> epoch then abandon_fetch t c
+              else
+                match res with
+                | Error e ->
+                    fault t c Tx (Dma_fault e);
+                    abandon_fetch t c
+                | Ok data ->
+                    c.sg_frags <- data :: c.sg_frags;
+                    c.sg_frag_descs <- c.sg_frag_descs + 1;
+                    if desc.flags land Memory.Dma_desc.flag_end_of_packet = 0
+                    then begin
+                      (* Scatter/gather: more fragments follow. Release
+                         the fetch engine; the next descriptor of this
+                         packet (or another context's work) proceeds. *)
+                      t.fetch_busy <- false;
+                      t.fetch_ctx <- None;
+                      run_tx_fetch t
+                    end
+                    else
+                      match Queue.take_opt c.tx_meta with
+                      | None ->
+                          fault t c Tx Missing_meta;
+                          abandon_fetch t c
+                      | Some frame ->
+                          (* Assemble the packet from its fragments. The
+                             frame carries whatever bytes were actually in
+                             host memory; a corrupt descriptor shows up at
+                             the receiver as a payload mismatch. *)
+                          let frags = List.rev c.sg_frags in
+                          let n_descs = c.sg_frag_descs in
+                          c.sg_frags <- [];
+                          c.sg_frag_descs <- 0;
+                          let frame =
+                            if t.cfg.Nic_config.materialize_payloads then
+                              {
+                                frame with
+                                Ethernet.Frame.data =
+                                  Some
+                                    (Bytes.concat Bytes.empty
+                                       (List.map
+                                          (Option.value ~default:Bytes.empty)
+                                          frags));
+                              }
+                            else frame
+                          in
+                          (* Adjust the optimistic reservation to the real
+                             footprint (TSO super-frames can exceed it). *)
+                          let actual = Ethernet.Frame.wire_bytes frame + 20 in
+                          let reserved =
+                            if actual <= max_frame_bytes then begin
+                              Pkt_buf.release t.tx_buf
+                                ~bytes:(max_frame_bytes - actual);
+                              actual
+                            end
+                            else if
+                              Pkt_buf.try_reserve t.tx_buf
+                                ~bytes:(actual - max_frame_bytes)
+                            then actual
+                            else max_frame_bytes
+                          in
+                          Queue.push
+                            (c.id, epoch, frame, reserved, n_descs)
+                            t.ready;
+                          t.fetch_busy <- false;
+                          t.fetch_ctx <- None;
+                          run_tx_wire t;
+                          run_tx_fetch t)
+        end
+
+and run_tx_wire t =
+  match t.link with
+  | None -> ()
+  | Some (link, side) ->
+      if t.wire_busy then ()
+      else begin
+        match Queue.take_opt t.ready with
+        | None -> ()
+        | Some (cid, epoch, frame, reserved, n_descs) ->
+            let c = t.ctxs.(cid) in
+            if c.epoch <> epoch then begin
+              (* Context revoked while staged: shut down the pending op. *)
+              Pkt_buf.release t.tx_buf ~bytes:reserved;
+              run_tx_wire t
+            end
+            else begin
+              t.wire_busy <- true;
+              Ethernet.Link.send link ~from:side frame
+                ~on_wire_free:(fun () ->
+                  t.wire_busy <- false;
+                  Pkt_buf.release t.tx_buf ~bytes:reserved;
+                  t.s_tx_frames <- t.s_tx_frames + 1;
+                  t.s_tx_bytes <- t.s_tx_bytes + frame.Ethernet.Frame.payload_len;
+                  if c.epoch = epoch then begin
+                    trace t (fun () ->
+                        Printf.sprintf "tx ctx=%d seq=%d len=%d" c.id
+                          frame.Ethernet.Frame.seq
+                          frame.Ethernet.Frame.payload_len);
+                    c.tx_frames <- c.tx_frames + 1;
+                    c.tx_cons <- c.tx_cons + n_descs;
+                    c.tx_completed_unread <- c.tx_completed_unread + n_descs;
+                    writeback_status t c;
+                    t.notify ~ctx:c.id
+                  end;
+                  run_tx_wire t;
+                  run_tx_fetch t)
+            end
+      end
+
+(* ---------- Receive path ---------- *)
+
+let rx_work_available (c : ctx) =
+  c.active && (not c.faulted) && c.rx_ring <> None
+  && (not (Queue.is_empty c.rx_backlog))
+  && c.rx_use_next < c.rx_prod
+
+let rec run_rx t =
+  if t.rx_busy then ()
+  else
+    match pick_ctx t ~rr:t.rx_rr ~has_work:rx_work_available with
+    | None -> ()
+    | Some c ->
+        t.rx_rr <- c.id;
+        t.rx_busy <- true;
+        let frame, epoch = Queue.pop c.rx_backlog in
+        if epoch <> c.epoch then begin
+          (* Stale after revocation (normally cleared there already). *)
+          release_rx_bytes t (Ethernet.Frame.wire_bytes frame);
+          t.rx_busy <- false;
+          run_rx t
+        end
+        else begin
+          let idx = c.rx_use_next in
+          c.rx_use_next <- idx + 1;
+          let ring = Option.get c.rx_ring in
+          let daddr = Ring.slot_addr ring idx in
+          Bus.Dma_engine.access t.dma ~context:(dma_ctx t c) ~addr:daddr
+            ~len:t.cfg.Nic_config.desc_layout.Memory.Desc_layout.size
+            (fun res -> rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res)
+        end
+
+and rx_abandon t frame =
+  release_rx_bytes t (Ethernet.Frame.wire_bytes frame);
+  t.rx_busy <- false;
+  run_rx t
+
+and rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res =
+  if c.epoch <> epoch then rx_abandon t frame
+  else
+    match res with
+    | Error e ->
+        fault t c Rx (Dma_fault e);
+        rx_abandon t frame
+    | Ok () ->
+        let desc =
+          Memory.Desc_layout.read t.cfg.Nic_config.desc_layout t.mem ~at:daddr
+        in
+        if not (check_seqno t c Rx desc) then rx_abandon t frame
+        else begin
+          let len = min frame.Ethernet.Frame.payload_len desc.len in
+          let deliver res =
+            if c.epoch <> epoch then rx_abandon t frame
+            else
+              match res with
+              | Error e ->
+                  fault t c Rx (Dma_fault e);
+                  rx_abandon t frame
+              | Ok () ->
+                  release_rx_bytes t (Ethernet.Frame.wire_bytes frame);
+                  trace t (fun () ->
+                      Printf.sprintf "rx ctx=%d seq=%d len=%d" c.id
+                        frame.Ethernet.Frame.seq
+                        frame.Ethernet.Frame.payload_len);
+                  c.rx_cons <- c.rx_cons + 1;
+                  c.rx_frames <- c.rx_frames + 1;
+                  t.s_rx_frames <- t.s_rx_frames + 1;
+                  t.s_rx_bytes <- t.s_rx_bytes + frame.Ethernet.Frame.payload_len;
+                  Queue.push (idx, frame) c.rx_completions;
+                  writeback_status t c;
+                  t.notify ~ctx:c.id;
+                  t.rx_busy <- false;
+                  run_rx t
+          in
+          if t.cfg.Nic_config.materialize_payloads then begin
+            let frame =
+              if frame.Ethernet.Frame.data = None then
+                Ethernet.Frame.with_data frame
+              else frame
+            in
+            let data = Option.get frame.Ethernet.Frame.data in
+            let data =
+              if Bytes.length data > len then Bytes.sub data 0 len else data
+            in
+            Bus.Dma_engine.write t.dma ~context:(dma_ctx t c) ~addr:desc.addr
+              ~data deliver
+          end
+          else
+            Bus.Dma_engine.access t.dma ~context:(dma_ctx t c) ~addr:desc.addr
+              ~len deliver
+        end
+
+let on_rx_frame t frame =
+  let dst = frame.Ethernet.Frame.dst in
+  let target =
+    match Hashtbl.find_opt t.mac_table dst with
+    | Some i when t.ctxs.(i).active -> Some t.ctxs.(i)
+    | Some _ | None -> (
+        match t.promiscuous with
+        | Some i when t.ctxs.(i).active -> Some t.ctxs.(i)
+        | Some _ | None -> None)
+  in
+  match target with
+  | None -> t.s_no_ctx <- t.s_no_ctx + 1
+  | Some c ->
+      if reserve_rx_bytes t (Ethernet.Frame.wire_bytes frame) then begin
+        Queue.push (frame, c.epoch) c.rx_backlog;
+        run_rx t
+      end
+      else t.s_overflow <- t.s_overflow + 1
+
+let attach_link t link ~side =
+  t.link <- Some (link, side);
+  Ethernet.Link.attach link side (fun frame -> on_rx_frame t frame)
+
+(* ---------- Context control ---------- *)
+
+let activate t ~ctx:i ~mac =
+  let c = ctx t i in
+  if c.active then invalid_arg "Dp.activate: context already active";
+  trace t (fun () ->
+      Printf.sprintf "activate ctx=%d mac=%s" i (Ethernet.Mac_addr.to_string mac));
+  c.active <- true;
+  c.faulted <- false;
+  c.mac <- Some mac;
+  Hashtbl.replace t.mac_table mac i;
+  run_tx_fetch t;
+  run_rx t
+
+let deactivate t ~ctx:i =
+  let c = ctx t i in
+  if c.active || c.faulted then begin
+    (match c.mac with
+    | Some mac when Hashtbl.find_opt t.mac_table mac = Some i ->
+        Hashtbl.remove t.mac_table mac
+    | Some _ | None -> ());
+    c.active <- false;
+    c.faulted <- false;
+    c.mac <- None;
+    c.epoch <- c.epoch + 1;
+    (* A packet abandoned mid-assembly holds a transmit-buffer
+       reservation; release it here unless an in-flight fetch for this
+       context will do so when its completion observes the epoch bump. *)
+    if c.sg_frags <> [] && t.fetch_ctx <> Some c.id then
+      Pkt_buf.release t.tx_buf ~bytes:max_frame_bytes;
+    Queue.iter
+      (fun (frame, _) ->
+        release_rx_bytes t (Ethernet.Frame.wire_bytes frame))
+      c.rx_backlog;
+    Queue.clear c.rx_backlog;
+    Queue.clear c.tx_meta;
+    c.sg_frags <- [];
+    c.sg_frag_descs <- 0;
+    Queue.clear c.rx_completions;
+    c.tx_completed_unread <- 0;
+    c.tx_ring <- None;
+    c.rx_ring <- None;
+    c.status_addr <- None;
+    c.tx_prod <- 0;
+    c.tx_fetch_next <- 0;
+    c.tx_cons <- 0;
+    c.rx_prod <- 0;
+    c.rx_use_next <- 0;
+    c.rx_cons <- 0;
+    c.tx_expected_seqno <- 0;
+    c.rx_expected_seqno <- 0
+  end
+
+let is_active t ~ctx:i = (ctx t i).active
+let mac_of t ~ctx:i = (ctx t i).mac
+
+let set_promiscuous t ~ctx:i =
+  (match i with Some i -> ignore (ctx t i) | None -> ());
+  t.promiscuous <- i
+
+let is_faulted t ~ctx:i = (ctx t i).faulted
+
+let set_tx_ring t ~ctx:i ring = (ctx t i).tx_ring <- Some ring
+let set_rx_ring t ~ctx:i ring = (ctx t i).rx_ring <- Some ring
+let set_status_addr t ~ctx:i addr = (ctx t i).status_addr <- Some addr
+
+let set_expected_seqno t ~ctx:i ~tx ~rx =
+  let c = ctx t i in
+  c.tx_expected_seqno <- tx mod seqno_mod;
+  c.rx_expected_seqno <- rx mod seqno_mod
+
+let tx_doorbell t ~ctx:i ~prod =
+  let c = ctx t i in
+  if prod < c.tx_prod then invalid_arg "Dp.tx_doorbell: producer went backwards";
+  c.tx_prod <- prod;
+  run_tx_fetch t
+
+let rx_doorbell t ~ctx:i ~prod =
+  let c = ctx t i in
+  if prod < c.rx_prod then invalid_arg "Dp.rx_doorbell: producer went backwards";
+  c.rx_prod <- prod;
+  run_rx t
+
+let stage_tx_meta t ~ctx:i frame = Queue.push frame (ctx t i).tx_meta
+
+let take_tx_completions t ~ctx:i =
+  let c = ctx t i in
+  let n = c.tx_completed_unread in
+  c.tx_completed_unread <- 0;
+  n
+
+let take_rx_completions t ~ctx:i ~max =
+  let c = ctx t i in
+  let rec drain n acc =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt c.rx_completions with
+      | None -> List.rev acc
+      | Some item -> drain (n - 1) (item :: acc)
+  in
+  drain max []
+
+let rx_completions_pending t ~ctx:i = Queue.length (ctx t i).rx_completions
+let rx_congested t = t.congested
+let set_uncongested_hook t f = t.uncongested_hook <- f
+
+let stats t =
+  {
+    tx_frames = t.s_tx_frames;
+    tx_bytes = t.s_tx_bytes;
+    rx_frames = t.s_rx_frames;
+    rx_bytes = t.s_rx_bytes;
+    rx_no_ctx_drops = t.s_no_ctx;
+    rx_overflow_drops = t.s_overflow;
+    faults = t.s_faults;
+  }
+
+let ctx_tx_frames t ~ctx:i = (ctx t i).tx_frames
+let ctx_rx_frames t ~ctx:i = (ctx t i).rx_frames

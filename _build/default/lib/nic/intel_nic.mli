@@ -1,0 +1,42 @@
+(** Conventional single-context NIC (Intel Pro/1000 MT model).
+
+    The software-virtualization baseline NIC of the paper's evaluation: one
+    hardware context, register-style doorbells, TSO capable, interrupts
+    coalesced onto a single physical line. Under Xen it is owned by the
+    driver domain and runs in promiscuous mode behind the software
+    bridge. *)
+
+type t
+
+(** [create engine ~mem ~dma ~irq ~dma_context ()] — [dma_context] is this
+    device's IOMMU context id. *)
+val create :
+  Sim.Engine.t ->
+  mem:Memory.Phys_mem.t ->
+  dma:Bus.Dma_engine.t ->
+  ?config:Nic_config.t ->
+  irq:Bus.Irq.t ->
+  dma_context:int ->
+  unit ->
+  t
+
+val attach_link : t -> Ethernet.Link.t -> side:Ethernet.Link.side -> unit
+
+(** Bring the device up with its MAC (also enables promiscuous receive,
+    as required behind a bridge). *)
+val enable : t -> mac:Ethernet.Mac_addr.t -> unit
+
+val disable : t -> unit
+
+(** Driver-facing operations (register writes are immediate). *)
+val driver_if : t -> Driver_if.t
+
+val dp : t -> Dp.t
+val stats : t -> Dp.stats
+val irq : t -> Bus.Irq.t
+
+(** Flow-control hook: fires when the receive buffer drains below the low
+    watermark (used by the ideal peer for 802.3x-style pause). *)
+val set_uncongested_hook : t -> (unit -> unit) -> unit
+
+val rx_congested : t -> bool

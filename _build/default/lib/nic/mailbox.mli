@@ -1,0 +1,61 @@
+(** Per-context mailbox SRAM with the two-level event bit-vector hierarchy.
+
+    Models the RiceNIC CDNA hardware of paper section 4: 128 KB of SRAM
+    divided into 32 page-sized (4 KB) partitions, one per hardware context.
+    The lowest 24 words of each partition are {e mailboxes}. Any PIO write
+    to a mailbox sets the corresponding bit in a per-context bit vector and
+    the context's bit in a global bit vector; the firmware finds work by
+    decoding the hierarchy (lowest set bit first) and clears events
+    per-context.
+
+    Each partition is exposed as an {!Bus.Mmio.region} so the hypervisor
+    can map exactly one partition into a guest. *)
+
+type t
+
+val mailboxes_per_context : int
+(** 24, as in the RiceNIC implementation. *)
+
+val partition_bytes : int
+(** 4096: one host page, so a partition maps into one guest page. *)
+
+(** [create ~contexts ~on_event] builds the SRAM block. [on_event] fires on
+    every mailbox write (the hardware's "global mailbox event"), after the
+    bit vectors have been updated. *)
+val create : contexts:int -> on_event:(unit -> unit) -> t
+
+val contexts : t -> int
+
+(** MMIO region of one context's 4 KB partition. Reads return the last
+    value written; writes beyond the mailbox words hit general-purpose
+    shared memory (also readable/writable). *)
+val region : t -> ctx:int -> Bus.Mmio.region
+
+(** Firmware side: current value of a mailbox word. *)
+val value : t -> ctx:int -> mbox:int -> int
+
+(** Firmware side: write a mailbox word without raising an event (used for
+    NIC-to-driver communication through the shared partition). *)
+val poke : t -> ctx:int -> mbox:int -> int -> unit
+
+(** First-level bit vector: bit [c] set iff context [c] has pending
+    events. *)
+val pending_contexts : t -> int
+
+(** Second-level vector for one context. *)
+val pending_boxes : t -> ctx:int -> int
+
+(** [next_event t] decodes the hierarchy: lowest pending context, lowest
+    pending mailbox within it — without clearing. *)
+val next_event : t -> (int * int) option
+
+(** [clear_event t ~ctx ~mbox] clears one event bit (and the context's
+    first-level bit when no events remain). *)
+val clear_event : t -> ctx:int -> mbox:int -> unit
+
+(** [clear_context t ~ctx] clears all events of a context at once (the
+    hardware supports multi-event clear messages). *)
+val clear_context : t -> ctx:int -> unit
+
+(** Total mailbox-write events generated so far. *)
+val events_generated : t -> int

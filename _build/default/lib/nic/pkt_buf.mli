@@ -1,0 +1,26 @@
+(** On-NIC packet-buffer accounting.
+
+    The CDNA NIC's transmit and receive packet buffers are "managed
+    globally, and hence packet buffering is shared across all contexts"
+    (paper section 4). This module tracks capacity; actual bytes live in
+    the frames in flight. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val in_use : t -> int
+
+(** [try_reserve t ~bytes] reserves space, or returns false (caller drops
+    the packet). @raise Invalid_argument if [bytes < 0]. *)
+val try_reserve : t -> bytes:int -> bool
+
+(** [release t ~bytes] returns space.
+    @raise Invalid_argument on underflow. *)
+val release : t -> bytes:int -> unit
+
+(** Packets refused because the buffer was full. *)
+val drops : t -> int
+
+(** High-water mark of occupancy. *)
+val peak : t -> int

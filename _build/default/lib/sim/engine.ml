@@ -1,0 +1,70 @@
+type event = {
+  time : Time.t;
+  mutable cancelled : bool;
+  fn : unit -> unit;
+}
+
+type event_id = event
+
+type t = {
+  mutable now : Time.t;
+  mutable fired : int;
+  queue : event Heap.t;
+}
+
+let compare_event (a : event) (b : event) = Time.compare a.time b.time
+let create () = { now = Time.zero; fired = 0; queue = Heap.create ~compare:compare_event }
+let now t = t.now
+let fired_count t = t.fired
+let pending_count t = Heap.length t.queue
+
+let schedule_at t time fn =
+  if Time.compare time t.now < 0 then
+    invalid_arg "Engine.schedule_at: time in the past";
+  let ev = { time; cancelled = false; fn } in
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay fn =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (Time.add t.now delay) fn
+
+let cancel _t id = id.cancelled <- true
+
+let fire t ev =
+  t.now <- ev.time;
+  t.fired <- t.fired + 1;
+  ev.fn ()
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some ev when ev.cancelled -> next ()
+    | Some ev ->
+        fire t ev;
+        true
+  in
+  next ()
+
+let run t ~until =
+  let rec loop () =
+    match Heap.peek t.queue with
+    | Some ev when ev.cancelled ->
+        ignore (Heap.pop t.queue);
+        loop ()
+    | Some ev when Time.compare ev.time until <= 0 ->
+        ignore (Heap.pop t.queue);
+        fire t ev;
+        loop ()
+    | Some _ | None -> t.now <- Time.max t.now until
+  in
+  loop ()
+
+let run_to_completion ?(limit = max_int) t =
+  let rec loop n =
+    if n >= limit then `Event_limit
+    else if step t then loop (n + 1)
+    else `Completed
+  in
+  loop 0

@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over simulated {!Time.t}. Events scheduled
+    for the same instant fire in scheduling order (FIFO), which makes runs
+    deterministic. Event callbacks may schedule and cancel further events. *)
+
+type t
+
+(** Handle for a scheduled event, usable with {!cancel}. *)
+type event_id
+
+val create : unit -> t
+
+(** Current simulated time. *)
+val now : t -> Time.t
+
+(** Number of events that have fired so far. *)
+val fired_count : t -> int
+
+(** Number of events currently pending (including cancelled-but-unswept). *)
+val pending_count : t -> int
+
+(** [schedule t ~delay fn] runs [fn] at [now t + delay].
+    @raise Invalid_argument if [delay] is negative. *)
+val schedule : t -> delay:Time.t -> (unit -> unit) -> event_id
+
+(** [schedule_at t time fn] runs [fn] at absolute [time].
+    @raise Invalid_argument if [time] is in the past. *)
+val schedule_at : t -> Time.t -> (unit -> unit) -> event_id
+
+(** [cancel t id] prevents the event from firing. Cancelling an event that
+    already fired or was already cancelled is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** [run t ~until] fires events in order until the queue empties or the next
+    event is strictly after [until]; time then advances to [until]. *)
+val run : t -> until:Time.t -> unit
+
+(** [run_to_completion ?limit t] fires events until none remain, or [limit]
+    events have fired. Returns [`Completed] or [`Event_limit]. *)
+val run_to_completion : ?limit:int -> t -> [ `Completed | `Event_limit ]
+
+(** [step t] fires the single next event; [false] if the queue is empty. *)
+val step : t -> bool

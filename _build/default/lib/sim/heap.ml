@@ -1,0 +1,95 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~compare = { compare; data = [||]; size = 0; next_seq = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* Order by user comparison, then by insertion sequence for stability. *)
+let entry_lt h a b =
+  let c = h.compare a.value b.value in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* Dummy slots share the first entry; they are never read past [size]. *)
+  let data = Array.make new_cap h.data.(0) in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let push h v =
+  let e = { value = v; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e;
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    entry_lt h h.data.(!i) h.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(!i) in
+    h.data.(!i) <- h.data.(parent);
+    h.data.(parent) <- tmp;
+    i := parent
+  done
+
+let peek h = if h.size = 0 then None else Some h.data.(0).value
+
+let sift_down h =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && entry_lt h h.data.(l) h.data.(!smallest) then
+      smallest := l;
+    if r < h.size && entry_lt h h.data.(r) h.data.(!smallest) then
+      smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(!smallest);
+      h.data.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h
+    end;
+    Some top.value
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some v -> v
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]
+
+let to_list h =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (h.data.(i).value :: acc)
+  in
+  build (h.size - 1) []

@@ -1,0 +1,30 @@
+(** Imperative binary min-heap.
+
+    Generic priority queue used by the event queue. Elements are ordered by
+    the comparison function supplied at creation; ties are broken by
+    insertion order (FIFO), which the discrete-event engine relies on for
+    deterministic same-timestamp ordering. *)
+
+type 'a t
+
+(** [create ~compare] makes an empty heap ordered by [compare]. *)
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** [peek h] is the minimum element, or [None] when empty. *)
+val peek : 'a t -> 'a option
+
+(** [pop h] removes and returns the minimum element, or [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn h] removes and returns the minimum element.
+    @raise Invalid_argument when empty. *)
+val pop_exn : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+(** [to_list h] is the elements in unspecified order (for debugging). *)
+val to_list : 'a t -> 'a list

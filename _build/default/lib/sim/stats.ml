@@ -1,0 +1,157 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+  let reset t = t.n <- 0
+end
+
+module Meter = struct
+  type t = { mutable events : int; mutable bytes : int }
+
+  let create () = { events = 0; bytes = 0 }
+
+  let mark t ~bytes =
+    t.events <- t.events + 1;
+    t.bytes <- t.bytes + bytes
+
+  let events t = t.events
+  let bytes t = t.bytes
+
+  let rate_events_per_sec t ~elapsed =
+    Time.rate_per_sec ~events:t.events ~elapsed
+
+  let rate_mbps t ~elapsed =
+    if elapsed = 0 then 0.
+    else float_of_int (t.bytes * 8) /. Time.to_sec_f elapsed /. 1e6
+
+  let reset t =
+    t.events <- 0;
+    t.bytes <- 0
+end
+
+module Tw_avg = struct
+  type t = {
+    start : Time.t;
+    mutable last_update : Time.t;
+    mutable value : float;
+    mutable weighted_sum : float;
+  }
+
+  let create ~now ~value =
+    { start = now; last_update = now; value; weighted_sum = 0. }
+
+  let advance t ~now =
+    if Time.compare now t.last_update < 0 then
+      invalid_arg "Tw_avg: time going backwards";
+    let dt = Time.to_sec_f (Time.sub now t.last_update) in
+    t.weighted_sum <- t.weighted_sum +. (t.value *. dt);
+    t.last_update <- now
+
+  let set t ~now v =
+    advance t ~now;
+    t.value <- v
+
+  let mean t ~now =
+    let span = Time.to_sec_f (Time.sub now t.start) in
+    if span <= 0. then t.value
+    else begin
+      let pending = Time.to_sec_f (Time.sub now t.last_update) in
+      (t.weighted_sum +. (t.value *. pending)) /. span
+    end
+
+  let current t = t.value
+end
+
+module Histogram = struct
+  (* HDR-style log-linear bucketing: values below 2^(sub_bits+1) get exact
+     buckets; above that, each power-of-two octave is split into
+     2^sub_bits linear sub-buckets, bounding relative error to ~3%. *)
+  let sub_bits = 5
+  let linear_limit = 1 lsl (sub_bits + 1) (* 64: exact below this *)
+  let octaves = 62 - sub_bits
+  let buckets = linear_limit + (octaves * (1 lsl sub_bits))
+
+  type t = {
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable min_v : int;
+    mutable max_v : int;
+  }
+
+  let create () =
+    { counts = Array.make buckets 0; n = 0; sum = 0.; min_v = max_int; max_v = 0 }
+
+  let msb v =
+    let rec scan v acc = if v <= 1 then acc else scan (v lsr 1) (acc + 1) in
+    scan v 0
+
+  let bucket_of v =
+    if v < linear_limit then v
+    else begin
+      let m = msb v in
+      let shift = m - sub_bits in
+      let idx =
+        linear_limit
+        + ((m - (sub_bits + 1)) * (1 lsl sub_bits))
+        + ((v lsr shift) - (1 lsl sub_bits))
+      in
+      Stdlib.min (buckets - 1) idx
+    end
+
+  let add t v =
+    let v = Stdlib.max 0 v in
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. float_of_int v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+  let max_value t = t.max_v
+  let min_value t = if t.n = 0 then 0 else t.min_v
+
+  (* Largest value mapping to bucket [i]. *)
+  let bucket_upper i =
+    if i < linear_limit then i
+    else begin
+      let rel = i - linear_limit in
+      let octave = rel / (1 lsl sub_bits) in
+      let sub = rel mod (1 lsl sub_bits) in
+      let shift = octave + 1 in
+      (((1 lsl sub_bits) + sub + 1) lsl shift) - 1
+    end
+
+  let percentile t p =
+    if t.n = 0 then 0
+    else begin
+      let p = Float.max 0. (Float.min 100. p) in
+      let target = p /. 100. *. float_of_int t.n in
+      let rec scan i acc =
+        if i >= buckets then t.max_v
+        else begin
+          let acc = acc + t.counts.(i) in
+          if float_of_int acc >= target then
+            Stdlib.min (bucket_upper i) t.max_v
+          else scan (i + 1) acc
+        end
+      in
+      scan 0 0
+    end
+
+  let reset t =
+    Array.fill t.counts 0 buckets 0;
+    t.n <- 0;
+    t.sum <- 0.;
+    t.min_v <- max_int;
+    t.max_v <- 0
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.1f min=%d p50=%d p99=%d max=%d" t.n
+      (mean t) (min_value t) (percentile t 50.) (percentile t 99.)
+      t.max_v
+end

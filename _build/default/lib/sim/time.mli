@@ -1,0 +1,65 @@
+(** Simulated time.
+
+    Time is an absolute count of nanoseconds since the start of the
+    simulation, represented as a native [int] (63 bits on 64-bit platforms,
+    i.e. ~292 simulated years — far beyond any experiment here). Durations
+    use the same representation. *)
+
+type t = int
+
+val zero : t
+
+(** {1 Constructors} *)
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+(** [of_sec_f s] converts a duration in (fractional) seconds, rounding to the
+    nearest nanosecond. Raises [Invalid_argument] if [s] is negative or not
+    finite. *)
+val of_sec_f : float -> t
+
+(** [of_us_f u] converts a duration in (fractional) microseconds. Raises
+    [Invalid_argument] on negative or non-finite input. *)
+val of_us_f : float -> t
+
+(** {1 Conversions} *)
+
+val to_ns : t -> int
+val to_sec_f : t -> float
+val to_us_f : t -> float
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [diff a b] is [a - b], clamped at zero. *)
+val diff : t -> t -> t
+
+(** [mul_int d n] scales duration [d] by the non-negative integer [n]. *)
+val mul_int : t -> int -> t
+
+(** [div_int d n] divides duration [d] by positive [n]. *)
+val div_int : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Derived quantities} *)
+
+(** [rate_per_sec ~events ~elapsed] is the event rate in events/second over
+    [elapsed]; 0 if [elapsed] is zero. *)
+val rate_per_sec : events:int -> elapsed:t -> float
+
+(** [bits_time ~bits ~rate_bps] is the time to serialize [bits] bits at
+    [rate_bps] bits per second. Raises [Invalid_argument] if [rate_bps <= 0]
+    or [bits < 0]. *)
+val bits_time : bits:int -> rate_bps:int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,13 @@
+type sink = time:Time.t -> tag:string -> string -> unit
+
+let current_sink : sink option ref = ref None
+let set_sink s = current_sink := s
+let enabled () = Option.is_some !current_sink
+
+let emit ~time ~tag msg =
+  match !current_sink with
+  | None -> ()
+  | Some sink -> sink ~time ~tag (msg ())
+
+let formatter_sink ppf ~time ~tag msg =
+  Format.fprintf ppf "[%a] %s: %s@." Time.pp time tag msg

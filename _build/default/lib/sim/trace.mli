@@ -1,0 +1,19 @@
+(** Lightweight event tracing.
+
+    Tracing is off by default and costs a closure allocation only when
+    enabled, so datapath code can trace freely. Each record carries the
+    simulated timestamp, a subsystem tag, and a message. *)
+
+type sink = time:Time.t -> tag:string -> string -> unit
+
+(** [set_sink (Some f)] enables tracing through [f]; [None] disables. *)
+val set_sink : sink option -> unit
+
+val enabled : unit -> bool
+
+(** [emit ~time ~tag msg] sends a record to the sink if tracing is on.
+    [msg] is lazy so formatting costs nothing when disabled. *)
+val emit : time:Time.t -> tag:string -> (unit -> string) -> unit
+
+(** A sink that prints ["\[%a\] %s: %s"] lines to the given formatter. *)
+val formatter_sink : Format.formatter -> sink

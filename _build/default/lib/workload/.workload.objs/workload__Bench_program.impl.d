@@ -1,0 +1,1 @@
+lib/workload/bench_program.ml: Array Connection Ethernet Guestos Hashtbl List Sim

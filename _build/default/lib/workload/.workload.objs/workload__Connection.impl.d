@@ -1,0 +1,1 @@
+lib/workload/connection.ml: Ethernet Hashtbl Sim

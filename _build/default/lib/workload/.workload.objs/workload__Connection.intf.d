@@ -1,0 +1,1 @@
+lib/workload/connection.mli: Ethernet Sim

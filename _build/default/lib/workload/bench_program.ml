@@ -1,0 +1,169 @@
+type stream = {
+  stack : Guestos.Net_stack.t;
+  tx_conns : Connection.t array;  (* windows this program keeps full *)
+  mutable rr : int; (* round-robin refill pointer, for balance *)
+  mutable refill_scheduled : bool;
+  mutable last_refill : Sim.Time.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  post_user : cost:Sim.Time.t -> (unit -> unit) -> unit;
+  costs : Guestos.Os_costs.t;
+  ack : Connection.t -> int -> unit;
+  min_refill_interval : Sim.Time.t;
+  gso_segments : int;
+  mutable streams : stream list;
+  by_flow : (int, Connection.t) Hashtbl.t;
+  mutable consumed : int;
+  mutable stray : int;
+}
+
+let create engine ?(min_refill_interval = Sim.Time.us 80) ?(gso_segments = 1)
+    ~post_user ~costs ~ack () =
+  if gso_segments < 1 then invalid_arg "Bench_program.create: gso_segments";
+  {
+    engine;
+    post_user;
+    costs;
+    ack;
+    min_refill_interval;
+    gso_segments;
+    streams = [];
+    by_flow = Hashtbl.create 64;
+    consumed = 0;
+    stray = 0;
+  }
+
+(* Fill stream windows up to the stack's current capacity, round-robin
+   across connections so bandwidth stays balanced. Refills are paced to at
+   most one per [min_refill_interval] so acknowledgements batch the way
+   they do under a real event loop under load. *)
+let rec refill t s =
+  if Array.length s.tx_conns > 0 && not s.refill_scheduled then begin
+    let now = Sim.Engine.now t.engine in
+    let earliest = Sim.Time.add s.last_refill t.min_refill_interval in
+    if Sim.Time.compare now earliest < 0 then begin
+      s.refill_scheduled <- true;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:(Sim.Time.diff earliest now)
+           (fun () ->
+             s.refill_scheduled <- false;
+             refill t s))
+    end
+    else refill_now t s
+  end
+
+and refill_now t s =
+  if not s.refill_scheduled then begin
+    let capacity = Guestos.Net_stack.capacity s.stack in
+    let want =
+      Array.fold_left (fun acc c -> acc + Connection.credits c) 0 s.tx_conns
+    in
+    let k = min capacity want in
+    if k > 0 then begin
+      s.refill_scheduled <- true;
+      s.last_refill <- Sim.Engine.now t.engine;
+      let cost =
+        Sim.Time.add t.costs.Guestos.Os_costs.app_wakeup
+          (Sim.Time.mul_int t.costs.Guestos.Os_costs.app_per_pkt k)
+      in
+      t.post_user ~cost (fun () ->
+          s.refill_scheduled <- false;
+          let frames = ref [] in
+          let remaining = ref k in
+          let n = Array.length s.tx_conns in
+          let idle_rounds = ref 0 in
+          while !remaining > 0 && !idle_rounds < n do
+            let c = s.tx_conns.(s.rr) in
+            s.rr <- (s.rr + 1) mod n;
+            let want = min !remaining t.gso_segments in
+            let got = Connection.take_credits c want in
+            if got > 0 then begin
+              frames :=
+                Connection.make_frame ~now:(Sim.Engine.now t.engine)
+                  ~segments:got c
+                :: !frames;
+              remaining := !remaining - got;
+              idle_rounds := 0
+            end
+            else incr idle_rounds
+          done;
+          let frames = List.rev !frames in
+          if frames <> [] then Guestos.Net_stack.send s.stack frames;
+          (* More credits may have arrived while we ran. *)
+          refill t s)
+    end
+  end
+
+let on_rx t s frames =
+  let n = List.length frames in
+  let cost =
+    Sim.Time.add t.costs.Guestos.Os_costs.app_wakeup
+      (Sim.Time.mul_int t.costs.Guestos.Os_costs.app_per_pkt n)
+  in
+  t.post_user ~cost (fun () ->
+      let acks = Hashtbl.create 8 in
+      List.iter
+        (fun frame ->
+          match Hashtbl.find_opt t.by_flow frame.Ethernet.Frame.flow with
+          | Some conn -> (
+              t.consumed <- t.consumed + frame.Ethernet.Frame.segments;
+              match
+                Connection.record_received ~now:(Sim.Engine.now t.engine) conn
+                  frame
+              with
+              | `Accepted ->
+                  Hashtbl.replace acks frame.Ethernet.Frame.flow
+                    ((match
+                        Hashtbl.find_opt acks frame.Ethernet.Frame.flow
+                      with
+                     | Some (_, k) -> k
+                     | None -> 0)
+                    + frame.Ethernet.Frame.segments
+                    |> fun k -> (conn, k))
+              | `Rejected -> ())
+          | None -> t.stray <- t.stray + 1)
+        frames;
+      Hashtbl.iter (fun _ (conn, k) -> t.ack conn k) acks;
+      ignore s)
+
+let add_stream t ~stack ~tx ~rx =
+  let s =
+    {
+      stack;
+      tx_conns = Array.of_list tx;
+      rr = 0;
+      refill_scheduled = false;
+      last_refill = Sim.Time.zero;
+    }
+  in
+  List.iter
+    (fun c -> Hashtbl.replace t.by_flow (Connection.id c) c)
+    (tx @ rx);
+  t.streams <- t.streams @ [ s ];
+  Guestos.Net_stack.set_rx_handler stack (fun frames -> on_rx t s frames);
+  Guestos.Net_stack.set_writable_hook stack (fun () -> refill t s)
+
+let start t = List.iter (fun s -> refill t s) t.streams
+
+let on_credit t conn n =
+  Connection.add_credits conn n;
+  (* Find the stream owning this connection and top it up. *)
+  List.iter
+    (fun s ->
+      if
+        Array.exists
+          (fun c -> Connection.id c = Connection.id conn)
+          s.tx_conns
+      then refill t s)
+    t.streams
+
+let consumed t = t.consumed
+
+let integrity_failures t =
+  Hashtbl.fold
+    (fun _ c acc -> acc + Connection.integrity_failures c)
+    t.by_flow 0
+
+let stray_frames t = t.stray

@@ -1,0 +1,11 @@
+type t = Tx | Rx | Bidirectional
+
+let guest_transmits = function Tx | Bidirectional -> true | Rx -> false
+let guest_receives = function Rx | Bidirectional -> true | Tx -> false
+
+let to_string = function
+  | Tx -> "transmit"
+  | Rx -> "receive"
+  | Bidirectional -> "bidirectional"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,11 @@
+(** Traffic direction of a benchmark run. *)
+
+type t =
+  | Tx  (** Guests transmit; the peer sinks and acknowledges. *)
+  | Rx  (** The peer transmits; guests sink and acknowledge. *)
+  | Bidirectional
+
+val guest_transmits : t -> bool
+val guest_receives : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xen/grant_table.ml: Domain Hypervisor Memory

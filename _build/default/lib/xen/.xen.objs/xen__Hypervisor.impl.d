@@ -1,0 +1,1 @@
+lib/xen/hypervisor.ml: Bus Costs Domain Host List Memory Sim

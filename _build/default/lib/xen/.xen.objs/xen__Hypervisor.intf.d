@@ -1,0 +1,1 @@
+lib/xen/hypervisor.mli: Bus Costs Domain Host Memory Sim

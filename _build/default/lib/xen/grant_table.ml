@@ -1,0 +1,18 @@
+type error = [ `Not_owner | `Pinned ]
+
+let count = ref 0
+
+let flip hyp ~src ~dst pfn =
+  let mem = Hypervisor.mem hyp in
+  if not (Memory.Phys_mem.owned_by mem pfn (Domain.id src)) then Error `Not_owner
+  else
+    match Memory.Phys_mem.transfer mem pfn ~to_:(Domain.id dst) with
+    | Error `Pinned -> Error `Pinned
+    | Ok () ->
+        Domain.remove_page src pfn;
+        Domain.add_page dst pfn;
+        incr count;
+        Ok ()
+
+let flips () = !count
+let reset_flips () = count := 0

@@ -1,0 +1,23 @@
+(** Grant tables: page transfers between domains.
+
+    Xen's netfront/netback move packet pages between guest and driver
+    domain by {e page flipping} — remapping ownership rather than copying
+    (paper section 2.1). [flip] validates ownership and transfers the page;
+    the caller charges the hypercall cost.
+
+    A page pinned by outstanding DMA (non-zero reference count) cannot be
+    flipped, mirroring the reallocation constraint of section 3.3. *)
+
+type error =
+  [ `Not_owner  (** Source domain does not own the page. *)
+  | `Pinned  (** Page has outstanding DMA references. *) ]
+
+(** [flip hyp ~src ~dst pfn] moves ownership of [pfn] from [src] to
+    [dst]. *)
+val flip :
+  Hypervisor.t -> src:Domain.t -> dst:Domain.t -> Memory.Addr.pfn -> (unit, error) result
+
+(** Completed flips (global diagnostic counter). *)
+val flips : unit -> int
+
+val reset_flips : unit -> unit

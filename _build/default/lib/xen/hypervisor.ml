@@ -1,0 +1,77 @@
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Host.Cpu.t;
+  mem : Memory.Phys_mem.t;
+  costs : Costs.t;
+  mutable domains : Domain.t list;
+  mutable next_id : int;
+  mutable phys_irqs : int;
+}
+
+let create engine ~cpu ~mem ?(costs = Costs.default) () =
+  { engine; cpu; mem; costs; domains = []; next_id = 0; phys_irqs = 0 }
+
+let engine t = t.engine
+let cpu t = t.cpu
+let mem t = t.mem
+let costs t = t.costs
+
+let create_domain t ~name ~kind ~weight ~mem_pages =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let pages =
+    match Memory.Phys_mem.alloc t.mem ~owner:id ~count:mem_pages with
+    | Ok pages -> pages
+    | Error `Out_of_memory ->
+        invalid_arg "Hypervisor.create_domain: out of memory"
+  in
+  let entity = Host.Cpu.add_entity t.cpu ~name ~weight ~domain:id in
+  let dom = Domain.make ~id ~name ~kind ~entity ~pages in
+  t.domains <- t.domains @ [ dom ];
+  dom
+
+let domains t = t.domains
+
+let driver_domain t =
+  List.find_opt (fun d -> Domain.kind d = Domain.Driver) t.domains
+
+let domain_by_id t id = List.find_opt (fun d -> Domain.id d = id) t.domains
+
+let hypervisor_owner = -1
+
+let alloc_hyp_pages t n =
+  match Memory.Phys_mem.alloc t.mem ~owner:hypervisor_owner ~count:n with
+  | Ok pages -> pages
+  | Error `Out_of_memory ->
+      invalid_arg "Hypervisor.alloc_hyp_pages: out of memory"
+
+let alloc_pages t dom n =
+  match Memory.Phys_mem.alloc t.mem ~owner:(Domain.id dom) ~count:n with
+  | Ok pages ->
+      List.iter (Domain.add_page dom) pages;
+      pages
+  | Error `Out_of_memory -> invalid_arg "Hypervisor.alloc_pages: out of memory"
+
+let free_page t dom pfn =
+  if not (Memory.Phys_mem.owned_by t.mem pfn (Domain.id dom)) then
+    invalid_arg "Hypervisor.free_page: domain does not own page";
+  Memory.Phys_mem.free t.mem pfn;
+  Domain.remove_page dom pfn
+
+let hypercall t ~from ~cost fn =
+  Host.Cpu.post t.cpu (Domain.entity from) ~category:Host.Category.Hypervisor
+    ~cost fn
+
+let kernel_work t dom ~cost fn =
+  Host.Cpu.post t.cpu (Domain.entity dom) ~category:(Domain.kernel dom) ~cost fn
+
+let user_work t dom ~cost fn =
+  Host.Cpu.post t.cpu (Domain.entity dom) ~category:(Domain.user dom) ~cost fn
+
+let route_irq t irq handler =
+  Bus.Irq.set_handler irq (fun () ->
+      t.phys_irqs <- t.phys_irqs + 1;
+      Host.Cpu.post_irq t.cpu ~cost:t.costs.Costs.isr handler)
+
+let physical_irqs t = t.phys_irqs
+let reset_counters t = t.phys_irqs <- 0

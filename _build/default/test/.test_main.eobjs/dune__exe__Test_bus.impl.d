@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Array Bus Bytes Memory Printf Sim

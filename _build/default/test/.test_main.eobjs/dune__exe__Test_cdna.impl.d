@@ -1,0 +1,1 @@
+test/test_cdna.ml: Alcotest Bus Cdna Ethernet Guestos Host List Memory Nic Option QCheck QCheck_alcotest Sim Xen

@@ -1,0 +1,1 @@
+test/test_ethernet.ml: Alcotest Array Bytes Char Ethernet List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cdna Experiments Float Host List Nic Printf QCheck QCheck_alcotest Sim String Workload

@@ -1,0 +1,1 @@
+test/test_guestos.ml: Alcotest Bus Ethernet Guestos Host List Memory Nic Printf Sim Xen

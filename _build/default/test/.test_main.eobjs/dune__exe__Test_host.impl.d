@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Float Gen Host List Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bus Test_cdna Test_ethernet Test_experiments Test_guestos Test_host Test_memory Test_misc Test_nic Test_sim Test_workload Test_xen

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Bytes Char List Memory QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Ethernet Experiments Format Guestos Host Memory Nic Printf Sim String Workload Xen

@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Array Bus Bytes Ethernet Gen Hashtbl List Memory Nic Option Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes Ethernet Guestos Host List Sim Workload

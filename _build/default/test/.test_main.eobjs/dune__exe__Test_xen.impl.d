@@ -1,0 +1,1 @@
+test/test_xen.ml: Alcotest Bus Host List Memory Sim Xen

@@ -1,0 +1,770 @@
+(* Tests for the core CDNA library: sequence numbers, the interrupt
+   bit-vector buffer, the CDNA NIC, the hypervisor protection extension,
+   and the guest driver end to end. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let us = Sim.Time.us
+
+(* ---------- Seqno ---------- *)
+
+let test_seqno_basics () =
+  check_int "modulus" 65536 Cdna.Seqno.modulus;
+  check_int "max ring" 32768 Cdna.Seqno.max_ring_slots;
+  check_int "next" 1 (Cdna.Seqno.next 0);
+  check_int "wrap" 0 (Cdna.Seqno.next 65535);
+  check_bool "continuous" true (Cdna.Seqno.continuous ~expected:5 ~got:5);
+  check_bool "not continuous" false (Cdna.Seqno.continuous ~expected:5 ~got:6)
+
+let test_seqno_stale_detection () =
+  (* A stale descriptor carries expected - ring_slots; with the modulus at
+     least twice the ring size it can never equal the expected value. *)
+  check_int "stale value" (65536 - 256) (Cdna.Seqno.stale_value ~expected:0 ~ring_slots:256);
+  check_bool "stale never matches" false
+    (Cdna.Seqno.continuous ~expected:10
+       ~got:(Cdna.Seqno.stale_value ~expected:10 ~ring_slots:256))
+
+let prop_seqno_no_alias =
+  QCheck.Test.make
+    ~name:"stale seqno never aliases for any valid ring size and position"
+    ~count:500
+    QCheck.(pair (int_range 0 65535) (int_range 1 32768))
+    (fun (expected, ring_slots) ->
+      let stale = Cdna.Seqno.stale_value ~expected ~ring_slots in
+      not (Cdna.Seqno.continuous ~expected ~got:stale))
+
+let prop_seqno_wraparound_continuity =
+  QCheck.Test.make ~name:"sequence remains continuous across wraparound"
+    ~count:200
+    QCheck.(int_range 0 65535)
+    (fun start ->
+      let next = Cdna.Seqno.next start in
+      Cdna.Seqno.continuous ~expected:next ~got:next
+      && next = (start + 1) mod 65536)
+
+(* ---------- Intr_vector ---------- *)
+
+let intr_fixture ?(slots = 4) () =
+  let engine = Sim.Engine.create () in
+  let mem = Memory.Phys_mem.create ~total_pages:16 () in
+  let dma = Bus.Dma_engine.create engine ~mem () in
+  let iv =
+    Cdna.Intr_vector.create ~mem ~dma ~base:(Memory.Addr.base_of_pfn 1) ~slots
+      ~dma_context:0
+  in
+  (engine, mem, iv)
+
+let test_intr_vector_roundtrip () =
+  let engine, _, iv = intr_fixture () in
+  let done_count = ref 0 in
+  check_bool "post 1" true
+    (Cdna.Intr_vector.try_post iv ~bits:0b1010 ~on_done:(fun () -> incr done_count));
+  check_bool "post 2" true
+    (Cdna.Intr_vector.try_post iv ~bits:0b0001 ~on_done:(fun () -> incr done_count));
+  ignore (Sim.Engine.run_to_completion engine);
+  check_int "both landed" 2 !done_count;
+  check (Alcotest.list Alcotest.int) "drained in order" [ 0b1010; 0b0001 ]
+    (Cdna.Intr_vector.drain iv);
+  check_int "posted" 2 (Cdna.Intr_vector.posted iv);
+  check_int "drained count" 2 (Cdna.Intr_vector.drained iv)
+
+let test_intr_vector_producer_consumer_protocol () =
+  (* Vectors must never be overwritten before the host drains them. *)
+  let engine, _, iv = intr_fixture ~slots:2 () in
+  check_bool "1" true (Cdna.Intr_vector.try_post iv ~bits:1 ~on_done:ignore);
+  check_bool "2" true (Cdna.Intr_vector.try_post iv ~bits:2 ~on_done:ignore);
+  check_bool "full refuses" false (Cdna.Intr_vector.try_post iv ~bits:3 ~on_done:ignore);
+  ignore (Sim.Engine.run_to_completion engine);
+  check (Alcotest.list Alcotest.int) "first two preserved" [ 1; 2 ]
+    (Cdna.Intr_vector.drain iv);
+  (* Space recovered after drain. *)
+  check_bool "post after drain" true
+    (Cdna.Intr_vector.try_post iv ~bits:3 ~on_done:ignore);
+  ignore (Sim.Engine.run_to_completion engine);
+  check (Alcotest.list Alcotest.int) "third" [ 3 ] (Cdna.Intr_vector.drain iv)
+
+let test_intr_vector_drain_only_landed () =
+  (* A vector whose DMA has not completed is invisible to the host. *)
+  let engine, _, iv = intr_fixture () in
+  ignore (Cdna.Intr_vector.try_post iv ~bits:7 ~on_done:ignore);
+  check (Alcotest.list Alcotest.int) "nothing landed yet" []
+    (Cdna.Intr_vector.drain iv);
+  ignore (Sim.Engine.run_to_completion engine);
+  check (Alcotest.list Alcotest.int) "after DMA" [ 7 ] (Cdna.Intr_vector.drain iv)
+
+(* ---------- Full CDNA system fixture ---------- *)
+
+type fx = {
+  engine : Sim.Engine.t;
+  mem : Memory.Phys_mem.t;
+  xen : Xen.Hypervisor.t;
+  cdna : Cdna.Hyp.t;
+  nic : Cdna.Cnic.t;
+  link : Ethernet.Link.t;
+  guest : Xen.Domain.t;
+  guest2 : Xen.Domain.t;
+}
+
+let fixture ?(protection = Cdna.Cdna_costs.Full) ?(materialize = false) () =
+  let engine = Sim.Engine.create () in
+  let profile = Host.Profile.create () in
+  let cpu = Host.Cpu.create engine ~profile () in
+  let mem = Memory.Phys_mem.create ~total_pages:8192 () in
+  let xen = Xen.Hypervisor.create engine ~cpu ~mem () in
+  let guest =
+    Xen.Hypervisor.create_domain xen ~name:"g0" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:2048
+  in
+  let guest2 =
+    Xen.Hypervisor.create_domain xen ~name:"g1" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:2048
+  in
+  let cdna = Cdna.Hyp.create xen ~protection () in
+  let dma = Bus.Dma_engine.create engine ~mem () in
+  let irq = Bus.Irq.create ~name:"cdna" in
+  let intr_page = List.hd (Xen.Hypervisor.alloc_hyp_pages xen 1) in
+  let config =
+    {
+      Cdna.Cnic.default_config with
+      Nic.Nic_config.materialize_payloads = materialize;
+    }
+  in
+  let nic =
+    Cdna.Cnic.create engine ~mem ~dma ~config ~irq ~dma_context_base:0
+      ~intr_base:(Memory.Addr.base_of_pfn intr_page)
+      ()
+  in
+  Cdna.Hyp.add_nic cdna nic;
+  let link = Ethernet.Link.create engine () in
+  Cdna.Cnic.attach_link nic link ~side:Ethernet.Link.A;
+  { engine; mem; xen; cdna; nic; link; guest; guest2 }
+
+let run fx ms =
+  Sim.Engine.run fx.engine
+    ~until:(Sim.Time.add (Sim.Engine.now fx.engine) (Sim.Time.ms ms))
+
+let await fx f =
+  let r = ref None in
+  f (fun x -> r := Some x);
+  run fx 5;
+  match !r with Some x -> x | None -> Alcotest.fail "hypercall never completed"
+
+let assign fx ?(guest : Xen.Domain.t option) ~mac_idx () =
+  let guest = Option.value guest ~default:fx.guest in
+  match
+    Cdna.Hyp.assign_context fx.cdna ~nic:fx.nic ~guest
+      ~mac:(Ethernet.Mac_addr.make mac_idx) ~isr_cost:(us 1)
+  with
+  | Ok h -> h
+  | Error `No_free_context -> Alcotest.fail "no free context"
+
+let setup_rings fx h =
+  let guest = Cdna.Hyp.guest_of h in
+  let page () = List.hd (Xen.Hypervisor.alloc_pages fx.xen guest 1) in
+  let tx = page () and rx = page () and status = page () in
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.register_ring fx.cdna h Cdna.Hyp.Tx
+           ~base:(Memory.Addr.base_of_pfn tx) ~slots:64 k)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "tx ring registration failed");
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.register_ring fx.cdna h Cdna.Hyp.Rx
+           ~base:(Memory.Addr.base_of_pfn rx) ~slots:64 k)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rx ring registration failed");
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.register_status fx.cdna h
+           ~addr:(Memory.Addr.base_of_pfn status) k)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "status registration failed")
+
+let own_desc fx h ?(len = 500) () =
+  let pfn = List.hd (Xen.Hypervisor.alloc_pages fx.xen (Cdna.Hyp.guest_of h) 1) in
+  {
+    Memory.Dma_desc.addr = Memory.Addr.base_of_pfn pfn;
+    len;
+    flags = Memory.Dma_desc.flag_end_of_packet;
+    seqno = 0;
+  }
+
+let meta_frame h ~seq =
+  ignore h;
+  Ethernet.Frame.make
+    ~src:(Ethernet.Mac_addr.make 1)
+    ~dst:(Ethernet.Mac_addr.make 99)
+    ~kind:Ethernet.Frame.Data ~flow:0 ~seq ~payload_len:500 ~payload_seed:seq ()
+
+(* ---------- Context management (Hyp) ---------- *)
+
+let test_hyp_assign_unique_contexts () =
+  let fx = fixture () in
+  let h1 = assign fx ~mac_idx:1 () in
+  let h2 = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
+  check_bool "distinct contexts" true (Cdna.Hyp.ctx_id h1 <> Cdna.Hyp.ctx_id h2);
+  check_bool "active on nic" true
+    (Nic.Dp.is_active (Cdna.Cnic.dp fx.nic) ~ctx:(Cdna.Hyp.ctx_id h1));
+  check_bool "guests recorded" true
+    (Xen.Domain.id (Cdna.Hyp.guest_of h2) = Xen.Domain.id fx.guest2)
+
+let test_hyp_context_exhaustion () =
+  let fx = fixture () in
+  for i = 0 to Cdna.Cnic.num_contexts - 1 do
+    ignore (assign fx ~mac_idx:(10 + i) ())
+  done;
+  check_bool "exhausted" true
+    (Cdna.Hyp.assign_context fx.cdna ~nic:fx.nic ~guest:fx.guest
+       ~mac:(Ethernet.Mac_addr.make 99) ~isr_cost:(us 1)
+    = Error `No_free_context)
+
+let test_hyp_revoke_frees_context () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  let ctx = Cdna.Hyp.ctx_id h in
+  Cdna.Hyp.revoke fx.cdna h;
+  check_bool "revoked" true (Cdna.Hyp.is_revoked h);
+  check_bool "nic context freed" false
+    (Nic.Dp.is_active (Cdna.Cnic.dp fx.nic) ~ctx);
+  (* The slot is reusable. *)
+  let h2 = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
+  check_int "same slot reassigned" ctx (Cdna.Hyp.ctx_id h2)
+
+(* ---------- DMA protection (Hyp.enqueue) ---------- *)
+
+let test_hyp_enqueue_validates_ownership () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  (* Own page: accepted. *)
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k) with
+  | Ok prod -> check_int "producer advanced" 1 prod
+  | Error _ -> Alcotest.fail "own page rejected");
+  (* Foreign page: rejected with the culprit pfn. *)
+  let foreign = List.hd (Xen.Domain.pages fx.guest2) in
+  let bad =
+    {
+      Memory.Dma_desc.addr = Memory.Addr.base_of_pfn foreign;
+      len = 100;
+      flags = 0;
+      seqno = 0;
+    }
+  in
+  match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ bad ] k) with
+  | Error (`Not_owner pfn) -> check_int "culprit" foreign pfn
+  | _ -> Alcotest.fail "foreign page accepted"
+
+let test_hyp_enqueue_rejects_whole_batch () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let foreign = List.hd (Xen.Domain.pages fx.guest2) in
+  let bad =
+    { Memory.Dma_desc.addr = Memory.Addr.base_of_pfn foreign; len = 10; flags = 0; seqno = 0 }
+  in
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h (); bad ] k)
+   with
+  | Error (`Not_owner _) -> ()
+  | _ -> Alcotest.fail "batch with foreign page accepted");
+  (* Nothing was pinned: all-or-nothing. *)
+  check_int "no pins" 0 (Cdna.Hyp.pinned_pages h)
+
+let test_hyp_enqueue_pins_and_lazily_unpins () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let hw = Cdna.Hyp.driver_if h in
+  let d1 = own_desc fx h () in
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ d1 ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  check_int "pinned" 1 (Cdna.Hyp.pinned_pages h);
+  check_int "page refcount" 1
+    (Memory.Page.refcount (Memory.Phys_mem.page fx.mem (Memory.Addr.pfn_of d1.Memory.Dma_desc.addr)));
+  (* Let the NIC consume it. *)
+  hw.Nic.Driver_if.stage_tx_meta (meta_frame h ~seq:0);
+  hw.Nic.Driver_if.tx_doorbell 1;
+  run fx 5;
+  (* Still pinned: unpinning is lazy, on the next enqueue. *)
+  check_int "still pinned" 1 (Cdna.Hyp.pinned_pages h);
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "second enqueue failed");
+  check_int "old pin dropped, new pin live" 1 (Cdna.Hyp.pinned_pages h);
+  check_int "old page unpinned" 0
+    (Memory.Page.refcount (Memory.Phys_mem.page fx.mem (Memory.Addr.pfn_of d1.Memory.Dma_desc.addr)))
+
+let test_hyp_pinned_page_cannot_move () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let d = own_desc fx h () in
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Rx [ d ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  let pfn = Memory.Addr.pfn_of d.Memory.Dma_desc.addr in
+  (* Freeing quarantines rather than releasing. *)
+  Xen.Hypervisor.free_page fx.xen fx.guest pfn;
+  check_bool "quarantined" true
+    (match Memory.Page.state (Memory.Phys_mem.page fx.mem pfn) with
+    | Memory.Page.Quarantined _ -> true
+    | _ -> false)
+
+let test_hyp_enqueue_ring_full () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  (* The ring holds 64; the NIC cannot drain without metadata+doorbell,
+     and the status page never advances, so the 65th must be refused. *)
+  let descs = List.init 65 (fun _ -> own_desc fx h ()) in
+  let rec push n = function
+    | [] -> n
+    | d :: rest -> (
+        match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ d ] k) with
+        | Ok _ -> push (n + 1) rest
+        | Error `Ring_full -> n
+        | Error _ -> Alcotest.fail "unexpected error")
+  in
+  check_int "exactly 64 accepted" 64 (push 0 descs)
+
+let test_hyp_enqueue_unregistered_ring () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k) with
+  | Error `Ring_unregistered -> ()
+  | _ -> Alcotest.fail "expected Ring_unregistered"
+
+let test_hyp_enqueue_after_revoke () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  Cdna.Hyp.revoke fx.cdna h;
+  match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k) with
+  | Error `Revoked -> ()
+  | _ -> Alcotest.fail "expected Revoked"
+
+let test_hyp_ring_registration_validates () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  let foreign = List.hd (Xen.Domain.pages fx.guest2) in
+  match
+    await fx (fun k ->
+        Cdna.Hyp.register_ring fx.cdna h Cdna.Hyp.Tx
+          ~base:(Memory.Addr.base_of_pfn foreign) ~slots:64 k)
+  with
+  | Error (`Not_owner _) -> ()
+  | _ -> Alcotest.fail "foreign ring memory accepted"
+
+let test_hyp_revoke_unpins_everything () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let descs = List.init 5 (fun _ -> own_desc fx h ()) in
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Rx descs k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  check_int "pinned" 5 (Cdna.Hyp.pinned_pages h);
+  let pfns =
+    List.map (fun d -> Memory.Addr.pfn_of d.Memory.Dma_desc.addr) descs
+  in
+  Cdna.Hyp.revoke fx.cdna h;
+  check_int "all unpinned" 0 (Cdna.Hyp.pinned_pages h);
+  List.iter
+    (fun pfn ->
+      check_int "refcount zero" 0
+        (Memory.Page.refcount (Memory.Phys_mem.page fx.mem pfn)))
+    pfns
+
+(* ---------- Protection fault reporting ---------- *)
+
+let test_fault_attributed_to_guest () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let hw = Cdna.Hyp.driver_if h in
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  hw.Nic.Driver_if.stage_tx_meta (meta_frame h ~seq:0);
+  hw.Nic.Driver_if.stage_tx_meta (meta_frame h ~seq:1);
+  (* Doorbell past the last hypervisor-stamped descriptor. *)
+  hw.Nic.Driver_if.tx_doorbell 2;
+  run fx 5;
+  check_bool "fault recorded for the right guest" true
+    (List.exists
+       (fun (dom, ctx) ->
+         dom = Xen.Domain.id fx.guest && ctx = Cdna.Hyp.ctx_id h)
+       (Cdna.Hyp.faults fx.cdna))
+
+(* ---------- Disabled and IOMMU modes ---------- *)
+
+let test_disabled_mode_skips_validation () =
+  let fx = fixture ~protection:Cdna.Cdna_costs.Disabled () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let foreign = List.hd (Xen.Domain.pages fx.guest2) in
+  let bad =
+    { Memory.Dma_desc.addr = Memory.Addr.base_of_pfn foreign; len = 100; flags = 0; seqno = 0 }
+  in
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ bad ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "disabled mode rejected a descriptor");
+  check_int "nothing pinned" 0 (Cdna.Hyp.pinned_pages h)
+
+let test_iommu_mode_blocks_foreign_dma () =
+  let fx = fixture ~protection:Cdna.Cdna_costs.Iommu () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let hw = Cdna.Hyp.driver_if h in
+  (* Enqueue a legitimate descriptor, then tamper with the ring memory to
+     point it at a foreign page (the guest owns its ring pages only under
+     Full protection, so Iommu mode leaves this window — which the IOMMU
+     itself must close). *)
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  check_int "granted to iommu while in flight" 1 (Cdna.Hyp.pinned_pages h);
+  (* A transmit from the legitimate page goes through. *)
+  hw.Nic.Driver_if.stage_tx_meta (meta_frame h ~seq:0);
+  hw.Nic.Driver_if.tx_doorbell 1;
+  run fx 5;
+  check_int "frame sent" 1 (Cdna.Cnic.stats fx.nic).Nic.Dp.tx_frames
+
+(* ---------- CDNA guest driver end-to-end ---------- *)
+
+let driver_fixture ?(protection = Cdna.Cdna_costs.Full) ?(materialize = false)
+    () =
+  let fx = fixture ~protection ~materialize () in
+  let h = assign fx ~mac_idx:1 () in
+  let driver =
+    Cdna.Driver.create ~hyp:fx.cdna ~handle:h ~costs:Guestos.Os_costs.default
+      ~materialize ()
+  in
+  let post_kernel ~cost fn = Xen.Hypervisor.kernel_work fx.xen fx.guest ~cost fn in
+  let stack =
+    Guestos.Net_stack.create ~post_kernel ~costs:Guestos.Os_costs.default
+      ~netdev:(Cdna.Driver.netdev driver)
+  in
+  run fx 5;
+  (fx, h, driver, stack)
+
+let test_driver_comes_up () =
+  let _fx, _h, driver, _ = driver_fixture () in
+  check_bool "ready after async registration" true (Cdna.Driver.ready driver)
+
+let test_driver_transmit_roundtrip () =
+  let fx, _h, driver, stack = driver_fixture () in
+  let wire = ref [] in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun f -> wire := f :: !wire);
+  let frames =
+    List.init 25 (fun i ->
+        Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 1)
+          ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data ~flow:0
+          ~seq:i ~payload_len:1000 ~payload_seed:i ())
+  in
+  Guestos.Net_stack.send stack frames;
+  run fx 20;
+  check_int "all transmitted" 25 (List.length !wire);
+  check_int "driver counter" 25 (Cdna.Driver.tx_count driver);
+  check_int "no enqueue errors" 0 (Cdna.Driver.enqueue_errors driver);
+  check_bool "no faults" true (Cdna.Hyp.faults fx.cdna = [])
+
+let test_driver_receive_roundtrip () =
+  let fx, _h, driver, stack = driver_fixture () in
+  let got = ref [] in
+  Guestos.Net_stack.set_rx_handler stack (fun fs -> got := fs @ !got);
+  for i = 0 to 19 do
+    Ethernet.Link.send fx.link ~from:Ethernet.Link.B
+      (Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 99)
+         ~dst:(Ethernet.Mac_addr.make 1) ~kind:Ethernet.Frame.Data ~flow:0
+         ~seq:i ~payload_len:1200 ~payload_seed:i ())
+      ~on_wire_free:ignore
+  done;
+  run fx 20;
+  check_int "all received" 20 (List.length !got);
+  check_int "driver counter" 20 (Cdna.Driver.rx_count driver)
+
+let test_driver_materialized_integrity () =
+  let fx, _h, _driver, stack = driver_fixture ~materialize:true () in
+  let wire = ref [] in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun f -> wire := f :: !wire);
+  Guestos.Net_stack.send stack
+    [
+      Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 1)
+        ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data ~flow:0
+        ~seq:0 ~payload_len:1234 ~payload_seed:5 ();
+    ];
+  run fx 20;
+  match !wire with
+  | [ f ] ->
+      check_bool "payload valid through hypercall enqueue + DMA" true
+        (Ethernet.Frame.data_valid f)
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_driver_virq_flow () =
+  (* The full interrupt path: NIC completion -> bit vector DMA -> physical
+     irq -> hypervisor decode -> event channel -> driver poll. *)
+  let fx, h, _driver, stack = driver_fixture () in
+  Guestos.Net_stack.send stack
+    [
+      Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 1)
+        ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data ~flow:0
+        ~seq:0 ~payload_len:100 ~payload_seed:0 ();
+    ];
+  run fx 20;
+  check_bool "virq delivered" true (Cdna.Hyp.virq_deliveries h > 0);
+  check_bool "interrupt raised after vector landed" true
+    (Cdna.Cnic.interrupts_raised fx.nic > 0);
+  check_bool "guest virq counted" true (Xen.Domain.virq_count fx.guest > 0)
+
+let test_driver_two_guests_isolated_traffic () =
+  let fx = fixture () in
+  let h1 = assign fx ~mac_idx:1 () in
+  let h2 = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
+  let d1 = Cdna.Driver.create ~hyp:fx.cdna ~handle:h1 ~costs:Guestos.Os_costs.default () in
+  let d2 = Cdna.Driver.create ~hyp:fx.cdna ~handle:h2 ~costs:Guestos.Os_costs.default () in
+  run fx 5;
+  (* Frames addressed to each guest's MAC reach only that context. *)
+  for i = 0 to 3 do
+    Ethernet.Link.send fx.link ~from:Ethernet.Link.B
+      (Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 99)
+         ~dst:(Ethernet.Mac_addr.make ((i mod 2) + 1))
+         ~kind:Ethernet.Frame.Data ~flow:i ~seq:0 ~payload_len:100
+         ~payload_seed:0 ())
+      ~on_wire_free:ignore
+  done;
+  run fx 10;
+  check_int "guest1 got its two" 2 (Cdna.Driver.rx_count d1);
+  check_int "guest2 got its two" 2 (Cdna.Driver.rx_count d2)
+
+let test_revocation_under_load () =
+  (* Revoke one guest's context mid-traffic: its pending work is shut
+     down, its pins drop, and the other guest's traffic continues
+     unharmed. *)
+  let fx = fixture () in
+  let h1 = assign fx ~mac_idx:1 () in
+  let h2 = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
+  let d1 = Cdna.Driver.create ~hyp:fx.cdna ~handle:h1 ~costs:Guestos.Os_costs.default () in
+  let d2 = Cdna.Driver.create ~hyp:fx.cdna ~handle:h2 ~costs:Guestos.Os_costs.default () in
+  run fx 5;
+  let post_kernel dom ~cost fn = Xen.Hypervisor.kernel_work fx.xen dom ~cost fn in
+  let stack1 =
+    Guestos.Net_stack.create ~post_kernel:(post_kernel fx.guest)
+      ~costs:Guestos.Os_costs.default ~netdev:(Cdna.Driver.netdev d1)
+  in
+  let stack2 =
+    Guestos.Net_stack.create ~post_kernel:(post_kernel fx.guest2)
+      ~costs:Guestos.Os_costs.default ~netdev:(Cdna.Driver.netdev d2)
+  in
+  let send stack src n =
+    Guestos.Net_stack.send stack
+      (List.init n (fun i ->
+           Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make src)
+             ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data
+             ~flow:src ~seq:i ~payload_len:1000 ~payload_seed:i ()))
+  in
+  send stack1 1 200;
+  send stack2 2 200;
+  (* Revoke guest 1 while its packets are in flight. *)
+  ignore
+    (Sim.Engine.schedule fx.engine ~delay:(Sim.Time.us 200) (fun () ->
+         Cdna.Hyp.revoke fx.cdna h1));
+  run fx 60;
+  check_bool "guest1 revoked" true (Cdna.Hyp.is_revoked h1);
+  check_int "guest1 pins dropped" 0 (Cdna.Hyp.pinned_pages h1);
+  check_bool "guest1 stopped early" true (Cdna.Driver.tx_count d1 < 200);
+  check_int "guest2 unaffected" 200 (Cdna.Driver.tx_count d2);
+  check_bool "guest2 still owns its context" true
+    (Nic.Dp.is_active (Cdna.Cnic.dp fx.nic) ~ctx:(Cdna.Hyp.ctx_id h2))
+
+let test_compact_layout_cdna_end_to_end () =
+  (* A CDNA NIC negotiating the 12-byte compact descriptor format: the
+     hypervisor serializes through the published layout (paper 3.4). *)
+  let engine = Sim.Engine.create () in
+  let profile = Host.Profile.create () in
+  let cpu = Host.Cpu.create engine ~profile () in
+  let mem = Memory.Phys_mem.create ~total_pages:8192 () in
+  let xen = Xen.Hypervisor.create engine ~cpu ~mem () in
+  let guest =
+    Xen.Hypervisor.create_domain xen ~name:"g" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:2048
+  in
+  let cdna = Cdna.Hyp.create xen () in
+  let dma = Bus.Dma_engine.create engine ~mem () in
+  let irq = Bus.Irq.create ~name:"cdna" in
+  let intr_page = List.hd (Xen.Hypervisor.alloc_hyp_pages xen 1) in
+  let config =
+    {
+      Cdna.Cnic.default_config with
+      Nic.Nic_config.desc_layout = Memory.Desc_layout.compact;
+    }
+  in
+  let nic =
+    Cdna.Cnic.create engine ~mem ~dma ~config ~irq ~dma_context_base:0
+      ~intr_base:(Memory.Addr.base_of_pfn intr_page)
+      ()
+  in
+  Cdna.Hyp.add_nic cdna nic;
+  let link = Ethernet.Link.create engine () in
+  Cdna.Cnic.attach_link nic link ~side:Ethernet.Link.A;
+  let wire = ref 0 in
+  Ethernet.Link.attach link Ethernet.Link.B (fun _ -> incr wire);
+  let h =
+    match
+      Cdna.Hyp.assign_context cdna ~nic ~guest ~mac:(Ethernet.Mac_addr.make 1)
+        ~isr_cost:(us 1)
+    with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "assign failed"
+  in
+  let driver = Cdna.Driver.create ~hyp:cdna ~handle:h ~costs:Guestos.Os_costs.default () in
+  Sim.Engine.run engine ~until:(Sim.Time.ms 5);
+  Alcotest.(check bool) "driver up" true (Cdna.Driver.ready driver);
+  let post_kernel ~cost fn = Xen.Hypervisor.kernel_work xen guest ~cost fn in
+  let stack =
+    Guestos.Net_stack.create ~post_kernel ~costs:Guestos.Os_costs.default
+      ~netdev:(Cdna.Driver.netdev driver)
+  in
+  Guestos.Net_stack.send stack
+    (List.init 8 (fun i ->
+         Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 1)
+           ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data ~flow:0
+           ~seq:i ~payload_len:1000 ~payload_seed:i ()));
+  Sim.Engine.run engine ~until:(Sim.Time.ms 15);
+  check_int "all frames through the compact layout" 8 !wire;
+  check_bool "no faults" true (Cdna.Hyp.faults cdna = [])
+
+let test_enqueue_call_accounting () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  check_int "no calls yet" 0 (Cdna.Hyp.enqueue_calls fx.cdna);
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  (match await fx (fun k -> Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Rx [ own_desc fx h () ] k) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  check_int "two hypercalls" 2 (Cdna.Hyp.enqueue_calls fx.cdna)
+
+let test_context_migration () =
+  (* Move a live guest from one CDNA NIC to another: revoke + reassign
+     with the same MAC, driver rebinds, traffic resumes on the new link. *)
+  let fx = fixture () in
+  (* A second NIC on its own link. *)
+  let irq2 = Bus.Irq.create ~name:"cdna2" in
+  let intr_page2 = List.hd (Xen.Hypervisor.alloc_hyp_pages fx.xen 1) in
+  let nic2 =
+    Cdna.Cnic.create fx.engine ~mem:fx.mem
+      ~dma:(Cdna.Cnic.dma fx.nic) ~irq:irq2 ~dma_context_base:64
+      ~intr_base:(Memory.Addr.base_of_pfn intr_page2)
+      ()
+  in
+  Cdna.Hyp.add_nic fx.cdna nic2;
+  let link2 = Ethernet.Link.create fx.engine () in
+  Cdna.Cnic.attach_link nic2 link2 ~side:Ethernet.Link.A;
+  let wire1 = ref 0 and wire2 = ref 0 in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun _ -> incr wire1);
+  Ethernet.Link.attach link2 Ethernet.Link.B (fun _ -> incr wire2);
+  let h = assign fx ~mac_idx:1 () in
+  let driver = Cdna.Driver.create ~hyp:fx.cdna ~handle:h ~costs:Guestos.Os_costs.default () in
+  run fx 5;
+  let post_kernel ~cost fn = Xen.Hypervisor.kernel_work fx.xen fx.guest ~cost fn in
+  let stack =
+    Guestos.Net_stack.create ~post_kernel ~costs:Guestos.Os_costs.default
+      ~netdev:(Cdna.Driver.netdev driver)
+  in
+  let send n =
+    Guestos.Net_stack.send stack
+      (List.init n (fun i ->
+           Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 1)
+             ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data
+             ~flow:0 ~seq:i ~payload_len:800 ~payload_seed:i ()))
+  in
+  send 20;
+  run fx 10;
+  check_int "before: traffic on link 1" 20 !wire1;
+  check_int "before: nothing on link 2" 0 !wire2;
+  (* Migrate. *)
+  let h2 =
+    match Cdna.Hyp.migrate fx.cdna h ~to_nic:nic2 with
+    | Ok h2 -> h2
+    | Error `No_free_context -> Alcotest.fail "migration failed"
+  in
+  Cdna.Driver.rebind driver h2;
+  run fx 5;
+  check_bool "driver back up" true (Cdna.Driver.ready driver);
+  check_bool "old handle revoked" true (Cdna.Hyp.is_revoked h);
+  check_bool "same mac preserved" true
+    (match Nic.Dp.mac_of (Cdna.Cnic.dp nic2) ~ctx:(Cdna.Hyp.ctx_id h2) with
+    | Some mac -> Ethernet.Mac_addr.equal mac (Ethernet.Mac_addr.make 1)
+    | None -> false);
+  send 20;
+  run fx 10;
+  check_int "after: traffic on link 2" 20 !wire2;
+  check_int "after: link 1 silent" 20 !wire1;
+  check_bool "no faults" true (Cdna.Hyp.faults fx.cdna = [])
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "cdna.seqno",
+      [
+        Alcotest.test_case "basics" `Quick test_seqno_basics;
+        Alcotest.test_case "stale detection" `Quick test_seqno_stale_detection;
+        qcheck prop_seqno_no_alias;
+        qcheck prop_seqno_wraparound_continuity;
+      ] );
+    ( "cdna.intr_vector",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_intr_vector_roundtrip;
+        Alcotest.test_case "producer/consumer" `Quick
+          test_intr_vector_producer_consumer_protocol;
+        Alcotest.test_case "drain only landed" `Quick test_intr_vector_drain_only_landed;
+      ] );
+    ( "cdna.contexts",
+      [
+        Alcotest.test_case "unique assignment" `Quick test_hyp_assign_unique_contexts;
+        Alcotest.test_case "exhaustion" `Quick test_hyp_context_exhaustion;
+        Alcotest.test_case "revoke frees" `Quick test_hyp_revoke_frees_context;
+      ] );
+    ( "cdna.protection",
+      [
+        Alcotest.test_case "validates ownership" `Quick test_hyp_enqueue_validates_ownership;
+        Alcotest.test_case "all-or-nothing batch" `Quick test_hyp_enqueue_rejects_whole_batch;
+        Alcotest.test_case "pins and lazily unpins" `Quick
+          test_hyp_enqueue_pins_and_lazily_unpins;
+        Alcotest.test_case "pinned page cannot move" `Quick test_hyp_pinned_page_cannot_move;
+        Alcotest.test_case "ring full" `Quick test_hyp_enqueue_ring_full;
+        Alcotest.test_case "unregistered ring" `Quick test_hyp_enqueue_unregistered_ring;
+        Alcotest.test_case "after revoke" `Quick test_hyp_enqueue_after_revoke;
+        Alcotest.test_case "ring registration validates" `Quick
+          test_hyp_ring_registration_validates;
+        Alcotest.test_case "revoke unpins" `Quick test_hyp_revoke_unpins_everything;
+        Alcotest.test_case "fault attribution" `Quick test_fault_attributed_to_guest;
+        Alcotest.test_case "disabled mode" `Quick test_disabled_mode_skips_validation;
+        Alcotest.test_case "iommu mode" `Quick test_iommu_mode_blocks_foreign_dma;
+      ] );
+    ( "cdna.driver",
+      [
+        Alcotest.test_case "comes up" `Quick test_driver_comes_up;
+        Alcotest.test_case "transmit roundtrip" `Quick test_driver_transmit_roundtrip;
+        Alcotest.test_case "receive roundtrip" `Quick test_driver_receive_roundtrip;
+        Alcotest.test_case "materialized integrity" `Quick test_driver_materialized_integrity;
+        Alcotest.test_case "virq flow" `Quick test_driver_virq_flow;
+        Alcotest.test_case "two guests isolated" `Quick test_driver_two_guests_isolated_traffic;
+        Alcotest.test_case "revocation under load" `Quick test_revocation_under_load;
+        Alcotest.test_case "compact layout end-to-end" `Quick
+          test_compact_layout_cdna_end_to_end;
+        Alcotest.test_case "context migration" `Quick test_context_migration;
+        Alcotest.test_case "enqueue accounting" `Quick test_enqueue_call_accounting;
+      ] );
+  ]

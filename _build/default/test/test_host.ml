@@ -1,0 +1,300 @@
+(* Tests for the host CPU substrate: categories, profile accounting, and
+   the credit scheduler. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let us = Sim.Time.us
+
+let make_cpu ?ctx_switch_cost ?slice () =
+  let engine = Sim.Engine.create () in
+  let profile = Host.Profile.create () in
+  let cpu = Host.Cpu.create engine ?ctx_switch_cost ?slice ~profile () in
+  (engine, profile, cpu)
+
+let run_for engine t = Sim.Engine.run engine ~until:t
+
+(* ---------- Category ---------- *)
+
+let test_category_equal () =
+  check_bool "hyp = hyp" true Host.Category.(equal Hypervisor Hypervisor);
+  check_bool "kernel same dom" true Host.Category.(equal (Kernel 1) (Kernel 1));
+  check_bool "kernel diff dom" false Host.Category.(equal (Kernel 1) (Kernel 2));
+  check_bool "kernel vs user" false Host.Category.(equal (Kernel 1) (User 1));
+  check_bool "idle" true Host.Category.(equal Idle Idle)
+
+let test_category_domain () =
+  check Alcotest.(option int) "kernel" (Some 3) (Host.Category.domain (Kernel 3));
+  check Alcotest.(option int) "user" (Some 4) (Host.Category.domain (User 4));
+  check Alcotest.(option int) "hyp" None (Host.Category.domain Hypervisor)
+
+(* ---------- Profile ---------- *)
+
+let test_profile_accumulates () =
+  let p = Host.Profile.create () in
+  Host.Profile.add p Host.Category.Hypervisor (us 10);
+  Host.Profile.add p Host.Category.Hypervisor (us 5);
+  Host.Profile.add p (Host.Category.Kernel 1) (us 20);
+  check_int "hyp" (us 15) (Host.Profile.total p Host.Category.Hypervisor);
+  check_int "kernel" (us 20) (Host.Profile.total p (Host.Category.Kernel 1));
+  check_int "busy" (us 35) (Host.Profile.busy p)
+
+let test_profile_report_split () =
+  let p = Host.Profile.create () in
+  Host.Profile.add p (Host.Category.Kernel 0) (us 30);
+  Host.Profile.add p (Host.Category.User 0) (us 10);
+  Host.Profile.add p (Host.Category.Kernel 1) (us 20);
+  Host.Profile.add p Host.Category.Hypervisor (us 15);
+  let r = Host.Profile.report p ~window:(us 100) ~driver_domain:(Some 0) in
+  check (Alcotest.float 0.01) "hyp" 15. r.Host.Profile.hyp;
+  check (Alcotest.float 0.01) "driver kernel" 30. r.Host.Profile.driver_kernel;
+  check (Alcotest.float 0.01) "driver user" 10. r.Host.Profile.driver_user;
+  check (Alcotest.float 0.01) "guest kernel" 20. r.Host.Profile.guest_kernel;
+  check (Alcotest.float 0.01) "idle" 25. r.Host.Profile.idle
+
+let test_profile_report_no_driver () =
+  let p = Host.Profile.create () in
+  Host.Profile.add p (Host.Category.Kernel 0) (us 40);
+  let r = Host.Profile.report p ~window:(us 100) ~driver_domain:None in
+  check (Alcotest.float 0.01) "all guest" 40. r.Host.Profile.guest_kernel;
+  check (Alcotest.float 0.01) "no driver" 0. r.Host.Profile.driver_kernel
+
+let test_profile_reset () =
+  let p = Host.Profile.create () in
+  Host.Profile.add p Host.Category.Hypervisor (us 10);
+  Host.Profile.reset p;
+  check_int "cleared" 0 (Host.Profile.busy p)
+
+let test_profile_rejects_bad_window () =
+  let p = Host.Profile.create () in
+  Alcotest.check_raises "zero window"
+    (Invalid_argument "Profile.report: non-positive window") (fun () ->
+      ignore (Host.Profile.report p ~window:0 ~driver_domain:None))
+
+let prop_profile_conservation =
+  QCheck.Test.make ~name:"profile fractions sum to ~100%" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 20) (pair (int_range 0 3) (int_range 1 1000)))
+    (fun entries ->
+      let p = Host.Profile.create () in
+      let total = ref 0 in
+      List.iter
+        (fun (cat, cost) ->
+          let c =
+            match cat with
+            | 0 -> Host.Category.Hypervisor
+            | 1 -> Host.Category.Kernel 1
+            | 2 -> Host.Category.User 1
+            | _ -> Host.Category.Kernel 0
+          in
+          total := !total + cost;
+          Host.Profile.add p c cost)
+        entries;
+      let window = max 1 !total in
+      let r = Host.Profile.report p ~window ~driver_domain:(Some 0) in
+      let sum =
+        r.Host.Profile.hyp +. r.Host.Profile.driver_kernel
+        +. r.Host.Profile.driver_user +. r.Host.Profile.guest_kernel
+        +. r.Host.Profile.guest_user +. r.Host.Profile.idle
+      in
+      Float.abs (sum -. 100.) < 0.01)
+
+(* ---------- Cpu ---------- *)
+
+let test_cpu_executes_in_order () =
+  let engine, _, cpu = make_cpu ~ctx_switch_cost:0 () in
+  let e = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let log = ref [] in
+  Host.Cpu.post cpu e ~category:(Host.Category.Kernel 0) ~cost:(us 5) (fun () ->
+      log := 1 :: !log);
+  Host.Cpu.post cpu e ~category:(Host.Category.Kernel 0) ~cost:(us 5) (fun () ->
+      log := 2 :: !log);
+  run_for engine (Sim.Time.ms 1);
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2 ] (List.rev !log)
+
+let test_cpu_accounts_categories () =
+  let engine, profile, cpu = make_cpu ~ctx_switch_cost:0 () in
+  let e = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  Host.Cpu.post cpu e ~category:(Host.Category.Kernel 0) ~cost:(us 7) ignore;
+  Host.Cpu.post cpu e ~category:(Host.Category.User 0) ~cost:(us 3) ignore;
+  Host.Cpu.post_irq cpu ~cost:(us 2) ignore;
+  run_for engine (Sim.Time.ms 1);
+  check_int "kernel" (us 7) (Host.Profile.total profile (Host.Category.Kernel 0));
+  check_int "user" (us 3) (Host.Profile.total profile (Host.Category.User 0));
+  check_int "hyp" (us 2) (Host.Profile.total profile Host.Category.Hypervisor)
+
+let test_cpu_irq_preempts () =
+  let engine, _, cpu = make_cpu ~ctx_switch_cost:0 () in
+  let e = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let log = ref [] in
+  (* Queue two entity items; at the end of the first, post an IRQ: it must
+     run before the second entity item. *)
+  Host.Cpu.post cpu e ~category:(Host.Category.Kernel 0) ~cost:(us 5) (fun () ->
+      Host.Cpu.post_irq cpu ~cost:(us 1) (fun () -> log := `Irq :: !log));
+  Host.Cpu.post cpu e ~category:(Host.Category.Kernel 0) ~cost:(us 5) (fun () ->
+      log := `Second :: !log);
+  run_for engine (Sim.Time.ms 1);
+  check_bool "irq before second item" true (!log = [ `Second; `Irq ])
+
+let test_cpu_serializes () =
+  (* One CPU: total completion time is the sum of costs. *)
+  let engine, _, cpu = make_cpu ~ctx_switch_cost:0 () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let b = Host.Cpu.add_entity cpu ~name:"b" ~weight:256 ~domain:1 in
+  let done_at = ref 0 in
+  for _ = 1 to 5 do
+    Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 10)
+      (fun () -> done_at := Sim.Engine.now engine);
+    Host.Cpu.post cpu b ~category:(Host.Category.Kernel 1) ~cost:(us 10)
+      (fun () -> done_at := Sim.Engine.now engine)
+  done;
+  run_for engine (Sim.Time.ms 10);
+  check_int "100us total" (us 100) !done_at
+
+let test_cpu_fair_share () =
+  (* Two always-busy entities with equal weights get ~equal CPU. *)
+  let engine, _, cpu = make_cpu ~slice:(us 100) () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let b = Host.Cpu.add_entity cpu ~name:"b" ~weight:256 ~domain:1 in
+  let rec feed e cat () =
+    Host.Cpu.post cpu e ~category:cat ~cost:(us 10) (feed e cat)
+  in
+  feed a (Host.Category.Kernel 0) ();
+  feed b (Host.Category.Kernel 1) ();
+  run_for engine (Sim.Time.ms 200);
+  let ra = Sim.Time.to_sec_f (Host.Cpu.runtime_of a) in
+  let rb = Sim.Time.to_sec_f (Host.Cpu.runtime_of b) in
+  let ratio = ra /. rb in
+  check_bool
+    (Printf.sprintf "fair within 20%% (ratio %.2f)" ratio)
+    true
+    (ratio > 0.8 && ratio < 1.25)
+
+let test_cpu_weighted_share () =
+  (* 3:1 weights give roughly 3:1 runtime. *)
+  let engine, _, cpu = make_cpu ~slice:(us 100) () in
+  let a = Host.Cpu.add_entity cpu ~name:"heavy" ~weight:768 ~domain:0 in
+  let b = Host.Cpu.add_entity cpu ~name:"light" ~weight:256 ~domain:1 in
+  let rec feed e cat () =
+    Host.Cpu.post cpu e ~category:cat ~cost:(us 10) (feed e cat)
+  in
+  feed a (Host.Category.Kernel 0) ();
+  feed b (Host.Category.Kernel 1) ();
+  run_for engine (Sim.Time.ms 400);
+  let ra = Sim.Time.to_sec_f (Host.Cpu.runtime_of a) in
+  let rb = Sim.Time.to_sec_f (Host.Cpu.runtime_of b) in
+  let ratio = ra /. rb in
+  check_bool
+    (Printf.sprintf "3:1 within 40%% (ratio %.2f)" ratio)
+    true
+    (ratio > 1.8 && ratio < 4.2)
+
+let test_cpu_boost_on_wake () =
+  (* A woken (blocked) entity runs before a busy one finishes its slice. *)
+  let engine, _, cpu = make_cpu ~ctx_switch_cost:0 ~slice:(Sim.Time.ms 10) () in
+  let busy = Host.Cpu.add_entity cpu ~name:"busy" ~weight:256 ~domain:0 in
+  let sleeper = Host.Cpu.add_entity cpu ~name:"sleeper" ~weight:256 ~domain:1 in
+  let woke_at = ref 0 in
+  let rec feed () =
+    Host.Cpu.post cpu busy ~category:(Host.Category.Kernel 0) ~cost:(us 10) feed
+  in
+  feed ();
+  ignore
+    (Sim.Engine.schedule engine ~delay:(us 55) (fun () ->
+         Host.Cpu.post cpu sleeper ~category:(Host.Category.Kernel 1)
+           ~cost:(us 1) (fun () -> woke_at := Sim.Engine.now engine)));
+  run_for engine (Sim.Time.ms 5);
+  (* Without boost the sleeper would wait for the 10ms slice to expire. *)
+  check_bool "woken promptly" true (!woke_at < us 100)
+
+let test_cpu_ctx_switch_charged () =
+  let engine, profile, cpu = make_cpu ~ctx_switch_cost:(us 2) () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 5) ignore;
+  run_for engine (Sim.Time.ms 1);
+  (* First dispatch switches from nothing to [a]: one switch. *)
+  check_int "switches" 1 (Host.Cpu.ctx_switches cpu);
+  check_int "switch time charged to hypervisor" (us 2)
+    (Host.Profile.total profile Host.Category.Hypervisor)
+
+let test_cpu_no_switch_same_entity () =
+  let engine, _, cpu = make_cpu ~ctx_switch_cost:(us 2) () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  for _ = 1 to 5 do
+    Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 5) ignore
+  done;
+  run_for engine (Sim.Time.ms 1);
+  check_int "one switch for five items" 1 (Host.Cpu.ctx_switches cpu)
+
+let test_cpu_is_idle () =
+  let engine, _, cpu = make_cpu () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  check_bool "initially idle" true (Host.Cpu.is_idle cpu);
+  Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 5) ignore;
+  check_bool "busy" false (Host.Cpu.is_idle cpu);
+  run_for engine (Sim.Time.ms 1);
+  check_bool "idle again" true (Host.Cpu.is_idle cpu)
+
+let test_cpu_zero_cost_work () =
+  let engine, _, cpu = make_cpu () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let ran = ref false in
+  Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:0 (fun () ->
+      ran := true);
+  run_for engine (Sim.Time.ms 1);
+  check_bool "ran" true !ran
+
+let test_cpu_rejects_negative () =
+  let _, _, cpu = make_cpu () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  Alcotest.check_raises "negative cost" (Invalid_argument "Cpu.post: negative cost")
+    (fun () ->
+      Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(-1) ignore);
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Cpu.add_entity: non-positive weight") (fun () ->
+      ignore (Host.Cpu.add_entity cpu ~name:"x" ~weight:0 ~domain:9))
+
+let test_cpu_busy_matches_profile () =
+  let engine, profile, cpu = make_cpu ~ctx_switch_cost:0 () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  for _ = 1 to 10 do
+    Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 3) ignore
+  done;
+  run_for engine (Sim.Time.ms 1);
+  check_int "total busy = profile busy" (Host.Profile.busy profile |> Sim.Time.to_ns)
+    (Host.Cpu.total_busy cpu |> Sim.Time.to_ns)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "host.category",
+      [
+        Alcotest.test_case "equality" `Quick test_category_equal;
+        Alcotest.test_case "domain" `Quick test_category_domain;
+      ] );
+    ( "host.profile",
+      [
+        Alcotest.test_case "accumulates" `Quick test_profile_accumulates;
+        Alcotest.test_case "report split" `Quick test_profile_report_split;
+        Alcotest.test_case "report no driver" `Quick test_profile_report_no_driver;
+        Alcotest.test_case "reset" `Quick test_profile_reset;
+        Alcotest.test_case "bad window" `Quick test_profile_rejects_bad_window;
+        qcheck prop_profile_conservation;
+      ] );
+    ( "host.cpu",
+      [
+        Alcotest.test_case "executes in order" `Quick test_cpu_executes_in_order;
+        Alcotest.test_case "accounts categories" `Quick test_cpu_accounts_categories;
+        Alcotest.test_case "irq preempts" `Quick test_cpu_irq_preempts;
+        Alcotest.test_case "serializes" `Quick test_cpu_serializes;
+        Alcotest.test_case "fair share" `Quick test_cpu_fair_share;
+        Alcotest.test_case "weighted share" `Quick test_cpu_weighted_share;
+        Alcotest.test_case "boost on wake" `Quick test_cpu_boost_on_wake;
+        Alcotest.test_case "ctx switch charged" `Quick test_cpu_ctx_switch_charged;
+        Alcotest.test_case "no switch same entity" `Quick test_cpu_no_switch_same_entity;
+        Alcotest.test_case "is_idle" `Quick test_cpu_is_idle;
+        Alcotest.test_case "zero cost work" `Quick test_cpu_zero_cost_work;
+        Alcotest.test_case "rejects negative" `Quick test_cpu_rejects_negative;
+        Alcotest.test_case "busy matches profile" `Quick test_cpu_busy_matches_profile;
+      ] );
+  ]

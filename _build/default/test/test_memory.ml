@@ -1,0 +1,358 @@
+(* Tests for the memory substrate: addresses, page ownership/refcounts,
+   physical memory, DMA descriptors, IOMMU. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ---------- Addr ---------- *)
+
+let test_addr_basics () =
+  check_int "page size" 4096 Memory.Addr.page_size;
+  check_int "pfn" 2 (Memory.Addr.pfn_of 8192);
+  check_int "pfn mid-page" 2 (Memory.Addr.pfn_of 8200);
+  check_int "base" 8192 (Memory.Addr.base_of_pfn 2);
+  check_int "offset" 8 (Memory.Addr.offset 8200)
+
+let test_addr_pages_spanned () =
+  check (Alcotest.list Alcotest.int) "within one page" [ 1 ]
+    (Memory.Addr.pages_spanned ~addr:4096 ~len:100);
+  check (Alcotest.list Alcotest.int) "across boundary" [ 0; 1 ]
+    (Memory.Addr.pages_spanned ~addr:4000 ~len:200);
+  check (Alcotest.list Alcotest.int) "exact page" [ 3 ]
+    (Memory.Addr.pages_spanned ~addr:(3 * 4096) ~len:4096);
+  check (Alcotest.list Alcotest.int) "empty" []
+    (Memory.Addr.pages_spanned ~addr:4096 ~len:0);
+  Alcotest.check_raises "negative" (Invalid_argument "Addr.pages_spanned: negative length")
+    (fun () -> ignore (Memory.Addr.pages_spanned ~addr:0 ~len:(-1)))
+
+let prop_pages_spanned_count =
+  QCheck.Test.make ~name:"pages_spanned covers the byte range" ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 1 20_000))
+    (fun (addr, len) ->
+      let pages = Memory.Addr.pages_spanned ~addr ~len in
+      let first = Memory.Addr.pfn_of addr in
+      let last = Memory.Addr.pfn_of (addr + len - 1) in
+      List.length pages = last - first + 1
+      && List.for_all (fun p -> p >= first && p <= last) pages)
+
+(* ---------- Page ---------- *)
+
+let test_page_lifecycle () =
+  let p = Memory.Page.create ~pfn:7 in
+  check_bool "starts free" true (Memory.Page.state p = Memory.Page.Free);
+  Memory.Page.set_owned p 3;
+  check_bool "owned" true (Memory.Page.is_owned_by p 3);
+  check_bool "not other" false (Memory.Page.is_owned_by p 4);
+  Memory.Page.release p;
+  check_bool "free again" true (Memory.Page.state p = Memory.Page.Free)
+
+let test_page_quarantine () =
+  let p = Memory.Page.create ~pfn:7 in
+  Memory.Page.set_owned p 1;
+  Memory.Page.get_ref p;
+  Memory.Page.get_ref p;
+  Memory.Page.release p;
+  check_bool "quarantined" true
+    (match Memory.Page.state p with Memory.Page.Quarantined 1 -> true | _ -> false);
+  check_bool "first put still held" true (Memory.Page.put_ref p = `Still_held);
+  check_bool "last put frees" true (Memory.Page.put_ref p = `Now_free);
+  check_bool "now free" true (Memory.Page.state p = Memory.Page.Free)
+
+let test_page_transfer () =
+  let p = Memory.Page.create ~pfn:1 in
+  Memory.Page.set_owned p 1;
+  check_bool "transfer ok" true (Memory.Page.transfer p 2 = Ok ());
+  check_bool "new owner" true (Memory.Page.is_owned_by p 2);
+  Memory.Page.get_ref p;
+  check_bool "pinned refuses" true (Memory.Page.transfer p 3 = Error `Pinned)
+
+let test_page_invalid_transitions () =
+  let p = Memory.Page.create ~pfn:0 in
+  Alcotest.check_raises "ref free page" (Invalid_argument "Page.get_ref: free page")
+    (fun () -> Memory.Page.get_ref p);
+  Alcotest.check_raises "release free" (Invalid_argument "Page.release: page not owned")
+    (fun () -> Memory.Page.release p);
+  Memory.Page.set_owned p 1;
+  Alcotest.check_raises "double own" (Invalid_argument "Page.set_owned: page not free")
+    (fun () -> Memory.Page.set_owned p 2);
+  Alcotest.check_raises "put at zero" (Invalid_argument "Page.put_ref: refcount already zero")
+    (fun () -> ignore (Memory.Page.put_ref p))
+
+let prop_page_refcount_balance =
+  QCheck.Test.make ~name:"balanced get/put leaves refcount zero" ~count:100
+    QCheck.(int_range 0 50)
+    (fun n ->
+      let p = Memory.Page.create ~pfn:0 in
+      Memory.Page.set_owned p 1;
+      for _ = 1 to n do Memory.Page.get_ref p done;
+      for _ = 1 to n do ignore (Memory.Page.put_ref p) done;
+      Memory.Page.refcount p = 0)
+
+(* ---------- Phys_mem ---------- *)
+
+let mem () = Memory.Phys_mem.create ~total_pages:64 ()
+
+let test_mem_alloc_free () =
+  let m = mem () in
+  check_int "all free" 64 (Memory.Phys_mem.free_pages m);
+  let pages = Result.get_ok (Memory.Phys_mem.alloc m ~owner:1 ~count:10) in
+  check_int "ten allocated" 10 (List.length pages);
+  check_int "free count" 54 (Memory.Phys_mem.free_pages m);
+  List.iter (fun p -> check_bool "owned" true (Memory.Phys_mem.owned_by m p 1)) pages;
+  List.iter (Memory.Phys_mem.free m) pages;
+  check_int "all free again" 64 (Memory.Phys_mem.free_pages m)
+
+let test_mem_out_of_memory () =
+  let m = mem () in
+  check_bool "oom" true
+    (Memory.Phys_mem.alloc m ~owner:1 ~count:65 = Error `Out_of_memory);
+  (* And nothing was taken. *)
+  check_int "intact" 64 (Memory.Phys_mem.free_pages m)
+
+let test_mem_quarantine_blocks_realloc () =
+  let m = Memory.Phys_mem.create ~total_pages:2 () in
+  let pages = Result.get_ok (Memory.Phys_mem.alloc m ~owner:1 ~count:2) in
+  let p = List.hd pages in
+  Memory.Phys_mem.get_ref m p;
+  Memory.Phys_mem.free m p;
+  (* Quarantined: not available. *)
+  check_bool "not reallocatable" true
+    (Memory.Phys_mem.alloc m ~owner:2 ~count:1 = Error `Out_of_memory);
+  Memory.Phys_mem.put_ref m p;
+  let re = Result.get_ok (Memory.Phys_mem.alloc m ~owner:2 ~count:1) in
+  check (Alcotest.list Alcotest.int) "reclaimed page" [ p ] re
+
+let test_mem_rw_roundtrip () =
+  let m = mem () in
+  let data = Bytes.of_string "hello, descriptor rings" in
+  Memory.Phys_mem.write m ~addr:100 data;
+  check Alcotest.string "roundtrip" "hello, descriptor rings"
+    (Bytes.to_string (Memory.Phys_mem.read m ~addr:100 ~len:(Bytes.length data)))
+
+let test_mem_rw_across_pages () =
+  let m = mem () in
+  let data = Bytes.init 8192 (fun i -> Char.chr (i land 0xff)) in
+  Memory.Phys_mem.write m ~addr:2048 data;
+  let back = Memory.Phys_mem.read m ~addr:2048 ~len:8192 in
+  check_bool "multi-page roundtrip" true (Bytes.equal data back)
+
+let test_mem_zero_fill () =
+  let m = mem () in
+  let b = Memory.Phys_mem.read m ~addr:0 ~len:16 in
+  check_bool "untouched memory reads zero" true
+    (Bytes.for_all (fun c -> c = '\000') b)
+
+let test_mem_realloc_clears_contents () =
+  let m = Memory.Phys_mem.create ~total_pages:1 () in
+  let p = List.hd (Result.get_ok (Memory.Phys_mem.alloc m ~owner:1 ~count:1)) in
+  Memory.Phys_mem.write m ~addr:(Memory.Addr.base_of_pfn p) (Bytes.of_string "secret");
+  Memory.Phys_mem.free m p;
+  let p2 = List.hd (Result.get_ok (Memory.Phys_mem.alloc m ~owner:2 ~count:1)) in
+  check_int "same frame" p p2;
+  let b = Memory.Phys_mem.read m ~addr:(Memory.Addr.base_of_pfn p2) ~len:6 in
+  check_bool "no data leak across realloc" true
+    (Bytes.for_all (fun c -> c = '\000') b)
+
+let test_mem_u_accessors () =
+  let m = mem () in
+  Memory.Phys_mem.write_u16 m ~addr:10 0xBEEF;
+  Memory.Phys_mem.write_u32 m ~addr:20 0xDEADBEEF;
+  Memory.Phys_mem.write_u64 m ~addr:30 0x123456789AB;
+  check_int "u16" 0xBEEF (Memory.Phys_mem.read_u16 m ~addr:10);
+  check_int "u32" 0xDEADBEEF (Memory.Phys_mem.read_u32 m ~addr:20);
+  check_int "u64" 0x123456789AB (Memory.Phys_mem.read_u64 m ~addr:30)
+
+let test_mem_bounds () =
+  let m = mem () in
+  Alcotest.check_raises "oob read"
+    (Invalid_argument "Phys_mem: address range out of bounds") (fun () ->
+      ignore (Memory.Phys_mem.read m ~addr:(64 * 4096 - 4) ~len:8));
+  Alcotest.check_raises "bad pfn" (Invalid_argument "Phys_mem.page: pfn out of range")
+    (fun () -> ignore (Memory.Phys_mem.page m 64))
+
+let test_mem_transfer () =
+  let m = mem () in
+  let p = List.hd (Result.get_ok (Memory.Phys_mem.alloc m ~owner:1 ~count:1)) in
+  check_bool "flip" true (Memory.Phys_mem.transfer m p ~to_:2 = Ok ());
+  check_bool "owner changed" true (Memory.Phys_mem.owned_by m p 2);
+  check_int "free list untouched" 63 (Memory.Phys_mem.free_pages m)
+
+let prop_mem_alloc_disjoint =
+  QCheck.Test.make ~name:"allocations to different owners are disjoint" ~count:50
+    QCheck.(pair (int_range 1 20) (int_range 1 20))
+    (fun (a, b) ->
+      let m = Memory.Phys_mem.create ~total_pages:64 () in
+      let pa = Result.get_ok (Memory.Phys_mem.alloc m ~owner:1 ~count:a) in
+      let pb = Result.get_ok (Memory.Phys_mem.alloc m ~owner:2 ~count:b) in
+      List.for_all (fun p -> not (List.mem p pb)) pa)
+
+(* ---------- Dma_desc ---------- *)
+
+let test_desc_roundtrip () =
+  let m = mem () in
+  let d = { Memory.Dma_desc.addr = 0x12340; len = 1500; flags = 3; seqno = 777 } in
+  Memory.Dma_desc.write m ~at:512 d;
+  check_bool "roundtrip" true (Memory.Dma_desc.equal d (Memory.Dma_desc.read m ~at:512));
+  check_int "size" 16 Memory.Dma_desc.size_bytes
+
+let test_desc_validation () =
+  let m = mem () in
+  let d = { Memory.Dma_desc.addr = 0; len = 0; flags = 0; seqno = 0 } in
+  Alcotest.check_raises "seqno range" (Invalid_argument "Dma_desc.write: seqno out of range")
+    (fun () -> Memory.Dma_desc.write m ~at:0 { d with Memory.Dma_desc.seqno = 65536 });
+  Alcotest.check_raises "flags range" (Invalid_argument "Dma_desc.write: flags out of range")
+    (fun () -> Memory.Dma_desc.write m ~at:0 { d with Memory.Dma_desc.flags = -1 })
+
+let prop_desc_roundtrip =
+  QCheck.Test.make ~name:"descriptor serialization roundtrips" ~count:200
+    QCheck.(quad (int_range 0 0xFFFFF) (int_range 0 0xFFFF) (int_range 0 0xFFFF)
+              (int_range 0 0xFFFF))
+    (fun (addr, len, flags, seqno) ->
+      let m = Memory.Phys_mem.create ~total_pages:4 () in
+      let d = { Memory.Dma_desc.addr; len; flags; seqno } in
+      Memory.Dma_desc.write m ~at:64 d;
+      Memory.Dma_desc.equal d (Memory.Dma_desc.read m ~at:64))
+
+(* ---------- Desc_layout ---------- *)
+
+let test_layout_validation () =
+  check_bool "default valid" true (Memory.Desc_layout.validate Memory.Desc_layout.default = Ok ());
+  check_bool "compact valid" true (Memory.Desc_layout.validate Memory.Desc_layout.compact = Ok ());
+  let overlap =
+    { Memory.Desc_layout.default with Memory.Desc_layout.len_off = 4 }
+  in
+  check_bool "overlap rejected" true (Result.is_error (Memory.Desc_layout.validate overlap));
+  let outside =
+    { Memory.Desc_layout.compact with Memory.Desc_layout.seqno_off = 11 }
+  in
+  check_bool "out of bounds rejected" true
+    (Result.is_error (Memory.Desc_layout.validate outside))
+
+let test_layout_compact_roundtrip () =
+  let m = mem () in
+  let d = { Memory.Dma_desc.addr = 0xFFFF; len = 1500; flags = 7; seqno = 9 } in
+  Memory.Desc_layout.write Memory.Desc_layout.compact m ~at:256 d;
+  check_bool "roundtrip" true
+    (Memory.Dma_desc.equal d (Memory.Desc_layout.read Memory.Desc_layout.compact m ~at:256))
+
+let test_layout_limits () =
+  let m = mem () in
+  check_int "compact max addr" 0xFFFFFFFF (Memory.Desc_layout.max_addr Memory.Desc_layout.compact);
+  check_int "compact max len" 0xFFFF (Memory.Desc_layout.max_len Memory.Desc_layout.compact);
+  Alcotest.check_raises "addr too wide"
+    (Invalid_argument "Desc_layout.write: address does not fit layout")
+    (fun () ->
+      Memory.Desc_layout.write Memory.Desc_layout.compact m ~at:0
+        { Memory.Dma_desc.addr = 0x1_0000_0000; len = 0; flags = 0; seqno = 0 })
+
+let prop_layout_roundtrip =
+  QCheck.Test.make ~name:"any valid layout roundtrips descriptors" ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 4 8) (int_range 0 1))
+        (quad (int_range 0 0xFFFF) (int_range 0 0xFFFF) (int_range 0 0xFFFF)
+           (int_range 0 0xFFFF)))
+    (fun ((addr_bytes, len_sel), (addr, len, flags, seqno)) ->
+      let len_bytes = if len_sel = 0 then 2 else 4 in
+      let layout =
+        {
+          Memory.Desc_layout.size = addr_bytes + len_bytes + 4;
+          addr_off = 0;
+          addr_bytes;
+          len_off = addr_bytes;
+          len_bytes;
+          flags_off = addr_bytes + len_bytes;
+          seqno_off = addr_bytes + len_bytes + 2;
+        }
+      in
+      Memory.Desc_layout.validate layout = Ok ()
+      &&
+      let m = Memory.Phys_mem.create ~total_pages:4 () in
+      let len = min len (Memory.Desc_layout.max_len layout) in
+      let d = { Memory.Dma_desc.addr; len; flags; seqno } in
+      Memory.Desc_layout.write layout m ~at:64 d;
+      Memory.Dma_desc.equal d (Memory.Desc_layout.read layout m ~at:64))
+
+(* ---------- Iommu ---------- *)
+
+let test_iommu_grant_revoke () =
+  let i = Memory.Iommu.create () in
+  check_bool "default deny" false (Memory.Iommu.allowed i ~context:1 5);
+  Memory.Iommu.grant i ~context:1 5;
+  check_bool "granted" true (Memory.Iommu.allowed i ~context:1 5);
+  check_bool "other context denied" false (Memory.Iommu.allowed i ~context:2 5);
+  Memory.Iommu.revoke i ~context:1 5;
+  check_bool "revoked" false (Memory.Iommu.allowed i ~context:1 5)
+
+let test_iommu_revoke_context () =
+  let i = Memory.Iommu.create () in
+  Memory.Iommu.grant i ~context:1 5;
+  Memory.Iommu.grant i ~context:1 6;
+  Memory.Iommu.grant i ~context:2 5;
+  Memory.Iommu.revoke_context i ~context:1;
+  check_bool "ctx1 gone" false (Memory.Iommu.allowed i ~context:1 5);
+  check_bool "ctx2 kept" true (Memory.Iommu.allowed i ~context:2 5);
+  check_int "entries" 1 (Memory.Iommu.entries i)
+
+let test_iommu_idempotent_grant () =
+  let i = Memory.Iommu.create () in
+  Memory.Iommu.grant i ~context:1 5;
+  Memory.Iommu.grant i ~context:1 5;
+  check_int "one entry" 1 (Memory.Iommu.entries i);
+  Memory.Iommu.revoke i ~context:1 5;
+  check_bool "fully revoked" false (Memory.Iommu.allowed i ~context:1 5)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "memory.addr",
+      [
+        Alcotest.test_case "basics" `Quick test_addr_basics;
+        Alcotest.test_case "pages spanned" `Quick test_addr_pages_spanned;
+        qcheck prop_pages_spanned_count;
+      ] );
+    ( "memory.page",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_page_lifecycle;
+        Alcotest.test_case "quarantine" `Quick test_page_quarantine;
+        Alcotest.test_case "transfer" `Quick test_page_transfer;
+        Alcotest.test_case "invalid transitions" `Quick test_page_invalid_transitions;
+        qcheck prop_page_refcount_balance;
+      ] );
+    ( "memory.phys_mem",
+      [
+        Alcotest.test_case "alloc/free" `Quick test_mem_alloc_free;
+        Alcotest.test_case "out of memory" `Quick test_mem_out_of_memory;
+        Alcotest.test_case "quarantine blocks realloc" `Quick
+          test_mem_quarantine_blocks_realloc;
+        Alcotest.test_case "rw roundtrip" `Quick test_mem_rw_roundtrip;
+        Alcotest.test_case "rw across pages" `Quick test_mem_rw_across_pages;
+        Alcotest.test_case "zero fill" `Quick test_mem_zero_fill;
+        Alcotest.test_case "realloc clears" `Quick test_mem_realloc_clears_contents;
+        Alcotest.test_case "u16/u32/u64" `Quick test_mem_u_accessors;
+        Alcotest.test_case "bounds" `Quick test_mem_bounds;
+        Alcotest.test_case "transfer" `Quick test_mem_transfer;
+        qcheck prop_mem_alloc_disjoint;
+      ] );
+    ( "memory.dma_desc",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_desc_roundtrip;
+        Alcotest.test_case "validation" `Quick test_desc_validation;
+        qcheck prop_desc_roundtrip;
+      ] );
+    ( "memory.desc_layout",
+      [
+        Alcotest.test_case "validation" `Quick test_layout_validation;
+        Alcotest.test_case "compact roundtrip" `Quick test_layout_compact_roundtrip;
+        Alcotest.test_case "limits" `Quick test_layout_limits;
+        qcheck prop_layout_roundtrip;
+      ] );
+    ( "memory.iommu",
+      [
+        Alcotest.test_case "grant/revoke" `Quick test_iommu_grant_revoke;
+        Alcotest.test_case "revoke context" `Quick test_iommu_revoke_context;
+        Alcotest.test_case "idempotent grant" `Quick test_iommu_idempotent_grant;
+      ] );
+  ]

@@ -1,0 +1,190 @@
+(* Coverage for the smaller API surfaces: pretty-printers, accessors,
+   tracing, and report plumbing not exercised by the behavioural suites. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let test_time_order () =
+  check_int "compare" (-1) (Sim.Time.compare 1 2);
+  check_bool "equal" true (Sim.Time.equal 5 5);
+  check_int "min" 1 (Sim.Time.min 1 2);
+  check_int "max" 2 (Sim.Time.max 1 2)
+
+let test_trace_sink () =
+  let lines = ref [] in
+  Sim.Trace.set_sink
+    (Some (fun ~time ~tag msg -> lines := (time, tag, msg) :: !lines));
+  check_bool "enabled" true (Sim.Trace.enabled ());
+  Sim.Trace.emit ~time:(Sim.Time.us 3) ~tag:"test" (fun () -> "hello");
+  Sim.Trace.set_sink None;
+  check_bool "disabled" false (Sim.Trace.enabled ());
+  (* Disabled emit does not run the thunk. *)
+  Sim.Trace.emit ~time:0 ~tag:"test" (fun () -> Alcotest.fail "lazy!");
+  check_bool "captured" true (!lines = [ (Sim.Time.us 3, "test", "hello") ])
+
+let test_trace_in_datapath () =
+  (* A quick CDNA run with tracing on produces datapath records. *)
+  let count = ref 0 in
+  Sim.Trace.set_sink (Some (fun ~time:_ ~tag:_ _ -> incr count));
+  let cfg =
+    {
+      Experiments.Config.default with
+      Experiments.Config.warmup = Sim.Time.ms 2;
+      duration = Sim.Time.ms 3;
+    }
+  in
+  ignore (Experiments.Run.run cfg);
+  Sim.Trace.set_sink None;
+  check_bool (Printf.sprintf "events traced (%d)" !count) true (!count > 100)
+
+let test_mac_misc () =
+  let m = Ethernet.Mac_addr.of_int48 0xAABBCCDDEEFF in
+  check_int "roundtrip" 0xAABBCCDDEEFF (Ethernet.Mac_addr.to_int48 m);
+  check_int "hash is value" 0xAABBCCDDEEFF (Ethernet.Mac_addr.hash m);
+  check_int "compare" 0 (Ethernet.Mac_addr.compare m m)
+
+let test_link_busy () =
+  let engine = Sim.Engine.create () in
+  let link = Ethernet.Link.create engine () in
+  check_bool "idle" false (Ethernet.Link.busy link ~from:Ethernet.Link.A);
+  Ethernet.Link.send link ~from:Ethernet.Link.A
+    (Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 1)
+       ~dst:(Ethernet.Mac_addr.make 2) ~kind:Ethernet.Frame.Data ~flow:0
+       ~seq:0 ~payload_len:1500 ~payload_seed:0 ())
+    ~on_wire_free:ignore;
+  check_bool "busy while serializing" true
+    (Ethernet.Link.busy link ~from:Ethernet.Link.A);
+  check_int "rate accessor" 1_000_000_000 (Ethernet.Link.rate_bps link)
+
+let test_switch_misc () =
+  let sw = Ethernet.Switch.create () in
+  let p = Ethernet.Switch.add_port sw (fun _ -> ()) in
+  check_int "ports" 1 (Ethernet.Switch.port_count sw);
+  check_bool "port equal" true (Ethernet.Switch.port_equal p p);
+  check_bool "unknown mac" true
+    (Ethernet.Switch.lookup sw (Ethernet.Mac_addr.make 5) = None)
+
+(* tiny substring helper to avoid a dependency *)
+module Astring_like = struct
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+end
+
+let test_nic_config_pp () =
+  let s = Format.asprintf "%a" Nic.Nic_config.pp Nic.Nic_config.intel in
+  check_bool "mentions name" true (Astring_like.contains s "Intel")
+
+let test_category_pp () =
+  check Alcotest.string "hyp" "hyp"
+    (Format.asprintf "%a" Host.Category.pp Host.Category.Hypervisor);
+  check Alcotest.string "kernel" "dom3/kernel"
+    (Format.asprintf "%a" Host.Category.pp (Host.Category.Kernel 3));
+  check Alcotest.string "idle" "idle"
+    (Format.asprintf "%a" Host.Category.pp Host.Category.Idle)
+
+let test_cpu_entity_accessors () =
+  let engine = Sim.Engine.create () in
+  let profile = Host.Profile.create () in
+  let cpu = Host.Cpu.create engine ~profile () in
+  let e = Host.Cpu.add_entity cpu ~name:"vcpu0" ~weight:256 ~domain:7 in
+  check Alcotest.string "name" "vcpu0" (Host.Cpu.name_of e);
+  check_int "domain" 7 (Host.Cpu.domain_of e);
+  check_int "runtime starts zero" 0 (Host.Cpu.runtime_of e)
+
+let test_config_describe () =
+  let d = Experiments.Config.describe Experiments.Config.default in
+  check_bool "mentions system" true (Astring_like.contains d "CDNA");
+  check_bool "mentions pattern" true (Astring_like.contains d "transmit")
+
+let test_run_primary_bidir () =
+  let m =
+    Experiments.Run.run
+      {
+        Experiments.Config.default with
+        Experiments.Config.pattern = Workload.Pattern.Bidirectional;
+        warmup = Sim.Time.ms 5;
+        duration = Sim.Time.ms 10;
+      }
+  in
+  check (Alcotest.float 0.01) "primary = tx + rx"
+    (m.Experiments.Run.tx_mbps +. m.Experiments.Run.rx_mbps)
+    (Experiments.Run.primary_mbps m)
+
+let test_pattern_pp () =
+  check Alcotest.string "tx" "transmit"
+    (Format.asprintf "%a" Workload.Pattern.pp Workload.Pattern.Tx)
+
+let test_netback_counters () =
+  (* Counters on a fresh netback. *)
+  let engine = Sim.Engine.create () in
+  let profile = Host.Profile.create () in
+  let cpu = Host.Cpu.create engine ~profile () in
+  let mem = Memory.Phys_mem.create ~total_pages:16384 () in
+  let hyp = Xen.Hypervisor.create engine ~cpu ~mem () in
+  let dom =
+    Xen.Hypervisor.create_domain hyp ~name:"drv" ~kind:Xen.Domain.Driver
+      ~weight:256 ~mem_pages:8192
+  in
+  let nb =
+    Guestos.Netback.create ~hyp ~dom ~costs:Guestos.Netback.default_costs ()
+  in
+  check_int "tx" 0 (Guestos.Netback.tx_forwarded nb);
+  check_int "rx" 0 (Guestos.Netback.rx_delivered nb);
+  check_int "drops" 0 (Guestos.Netback.rx_dropped nb);
+  check_int "runs" 0 (Guestos.Netback.runs nb);
+  check_int "pool" 4096 (Guestos.Netback.pool_size nb)
+
+let test_dma_desc_pp () =
+  let s =
+    Format.asprintf "%a" Memory.Dma_desc.pp
+      { Memory.Dma_desc.addr = 0x1000; len = 5; flags = 1; seqno = 2 }
+  in
+  check_bool "formats" true (Astring_like.contains s "0x1000")
+
+let test_desc_layout_pp () =
+  let s = Format.asprintf "%a" Memory.Desc_layout.pp Memory.Desc_layout.compact in
+  check_bool "formats" true (Astring_like.contains s "size=12");
+  check_bool "equal" true
+    (Memory.Desc_layout.equal Memory.Desc_layout.compact Memory.Desc_layout.compact)
+
+let test_ascii_chart () =
+  let chart =
+    Experiments.Report.ascii_chart ~x_label:"guests" ~y_label:"Mb/s"
+      ~series:[ ("a", '#', [ 100.; 200.; 300. ]); ("b", 'o', [ 300.; 200.; 100. ]) ]
+      ~xs:[ 1; 2; 3 ]
+  in
+  check_bool "has both markers" true
+    (Astring_like.contains chart "#" && Astring_like.contains chart "o");
+  check_bool "axis labels" true
+    (Astring_like.contains chart "guests" && Astring_like.contains chart "Mb/s");
+  check_bool "legend" true (Astring_like.contains chart "# = a")
+
+let suite =
+  [
+    ( "misc.coverage",
+      [
+        Alcotest.test_case "time ordering" `Quick test_time_order;
+        Alcotest.test_case "trace sink" `Quick test_trace_sink;
+        Alcotest.test_case "trace in datapath" `Quick test_trace_in_datapath;
+        Alcotest.test_case "mac misc" `Quick test_mac_misc;
+        Alcotest.test_case "link busy" `Quick test_link_busy;
+        Alcotest.test_case "switch misc" `Quick test_switch_misc;
+        Alcotest.test_case "nic_config pp" `Quick test_nic_config_pp;
+        Alcotest.test_case "category pp" `Quick test_category_pp;
+        Alcotest.test_case "cpu accessors" `Quick test_cpu_entity_accessors;
+        Alcotest.test_case "config describe" `Quick test_config_describe;
+        Alcotest.test_case "primary bidir" `Quick test_run_primary_bidir;
+        Alcotest.test_case "pattern pp" `Quick test_pattern_pp;
+        Alcotest.test_case "netback counters" `Quick test_netback_counters;
+        Alcotest.test_case "dma_desc pp" `Quick test_dma_desc_pp;
+        Alcotest.test_case "desc_layout pp" `Quick test_desc_layout_pp;
+        Alcotest.test_case "ascii chart" `Quick test_ascii_chart;
+      ] );
+  ]

@@ -1,0 +1,324 @@
+(* Tests for the discrete-event simulation substrate: Sim.Time, Sim.Heap,
+   Sim.Engine, Sim.Rng, Sim.Stats. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ---------- Time ---------- *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Sim.Time.us 1);
+  check_int "ms" 1_000_000 (Sim.Time.ms 1);
+  check_int "sec" 1_000_000_000 (Sim.Time.sec 1);
+  check_int "ns passthrough" 7 (Sim.Time.ns 7)
+
+let test_time_float_conversions () =
+  check_int "of_sec_f" 1_500_000_000 (Sim.Time.of_sec_f 1.5);
+  check_int "of_us_f" 2_500 (Sim.Time.of_us_f 2.5);
+  check (Alcotest.float 1e-9) "to_sec_f" 0.25 (Sim.Time.to_sec_f (Sim.Time.ms 250));
+  check (Alcotest.float 1e-9) "to_us_f" 3.0 (Sim.Time.to_us_f (Sim.Time.ns 3_000))
+
+let test_time_invalid_floats () =
+  Alcotest.check_raises "negative" (Invalid_argument "Time.of_sec_f: negative or non-finite")
+    (fun () -> ignore (Sim.Time.of_sec_f (-1.)));
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Time.of_sec_f: negative or non-finite") (fun () ->
+      ignore (Sim.Time.of_sec_f Float.nan))
+
+let test_time_arith () =
+  check_int "add" 30 (Sim.Time.add 10 20);
+  check_int "sub" (-10) (Sim.Time.sub 10 20);
+  check_int "diff clamps" 0 (Sim.Time.diff 10 20);
+  check_int "diff" 10 (Sim.Time.diff 20 10);
+  check_int "mul_int" 60 (Sim.Time.mul_int 20 3);
+  check_int "div_int" 7 (Sim.Time.div_int 21 3)
+
+let test_time_rates () =
+  check (Alcotest.float 1e-6) "rate" 1000.
+    (Sim.Time.rate_per_sec ~events:1000 ~elapsed:(Sim.Time.sec 1));
+  check (Alcotest.float 1e-6) "rate zero elapsed" 0.
+    (Sim.Time.rate_per_sec ~events:5 ~elapsed:0);
+  (* 12304 bits at 1 Gb/s = 12304 ns *)
+  check_int "bits_time" 12304
+    (Sim.Time.bits_time ~bits:12304 ~rate_bps:1_000_000_000)
+
+let test_time_pp () =
+  check Alcotest.string "ns" "42ns" (Sim.Time.to_string (Sim.Time.ns 42));
+  check Alcotest.string "us" "1.500us" (Sim.Time.to_string (Sim.Time.ns 1_500));
+  check Alcotest.string "s" "2.000s" (Sim.Time.to_string (Sim.Time.sec 2))
+
+(* ---------- Heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create ~compare:Int.compare in
+  List.iter (Sim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  let order = List.init 6 (fun _ -> Sim.Heap.pop_exn h) in
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3; 5; 8; 9 ] order
+
+let test_heap_fifo_ties () =
+  (* Equal keys must pop in insertion order (determinism). *)
+  let h = Sim.Heap.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
+  List.iter (Sim.Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let tags = List.init 4 (fun _ -> snd (Sim.Heap.pop_exn h)) in
+  check (Alcotest.list Alcotest.string) "fifo" [ "z"; "a"; "b"; "c" ] tags
+
+let test_heap_empty () =
+  let h = Sim.Heap.create ~compare:Int.compare in
+  check_bool "empty" true (Sim.Heap.is_empty h);
+  check Alcotest.(option int) "peek none" None (Sim.Heap.peek h);
+  check Alcotest.(option int) "pop none" None (Sim.Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Sim.Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Sim.Heap.create ~compare:Int.compare in
+  List.iter (Sim.Heap.push h) [ 1; 2; 3 ];
+  Sim.Heap.clear h;
+  check_int "length" 0 (Sim.Heap.length h);
+  Sim.Heap.push h 9;
+  check Alcotest.(option int) "usable after clear" (Some 9) (Sim.Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops any int list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~compare:Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      let out = List.init (List.length xs) (fun _ -> Sim.Heap.pop_exn h) in
+      out = List.sort Int.compare xs)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:30 (fun () -> log := 30 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:20 (fun () -> log := 20 :: !log));
+  ignore (Sim.Engine.run_to_completion e);
+  check (Alcotest.list Alcotest.int) "order" [ 10; 20; 30 ] (List.rev !log)
+
+let test_engine_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule e ~delay:100 (fun () -> log := i :: !log))
+  done;
+  ignore (Sim.Engine.run_to_completion e);
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_time_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref (-1) in
+  ignore (Sim.Engine.schedule e ~delay:500 (fun () -> seen := Sim.Engine.now e));
+  ignore (Sim.Engine.run_to_completion e);
+  check_int "time at fire" 500 !seen;
+  check_int "now after" 500 (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let id = Sim.Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Sim.Engine.cancel e id;
+  ignore (Sim.Engine.run_to_completion e);
+  check_bool "not fired" false !fired;
+  (* double cancel is a no-op *)
+  Sim.Engine.cancel e id
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.Engine.schedule e ~delay:(i * 10) (fun () -> incr count))
+  done;
+  Sim.Engine.run e ~until:50;
+  check_int "five fired" 5 !count;
+  check_int "clock at until" 50 (Sim.Engine.now e);
+  Sim.Engine.run e ~until:200;
+  check_int "rest fired" 10 !count
+
+let test_engine_nested_schedule () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:10 (fun () ->
+         log := `A :: !log;
+         ignore (Sim.Engine.schedule e ~delay:5 (fun () -> log := `B :: !log))));
+  ignore (Sim.Engine.run_to_completion e);
+  check_int "both fired" 2 (List.length !log);
+  check_int "final time" 15 (Sim.Engine.now e)
+
+let test_engine_rejects_past () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:10 (fun () -> ()));
+  ignore (Sim.Engine.run_to_completion e);
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Sim.Engine.schedule_at e 5 (fun () -> ())));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Sim.Engine.schedule e ~delay:(-1) (fun () -> ())))
+
+let test_engine_event_limit () =
+  let e = Sim.Engine.create () in
+  (* Self-perpetuating event chain. *)
+  let rec loop () = ignore (Sim.Engine.schedule e ~delay:1 loop) in
+  loop ();
+  match Sim.Engine.run_to_completion ~limit:100 e with
+  | `Event_limit -> check_int "fired" 100 (Sim.Engine.fired_count e)
+  | `Completed -> Alcotest.fail "should have hit the limit"
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:7 and b = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Sim.Rng.int64 a = Sim.Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.int64 a <> Sim.Rng.int64 b then differs := true
+  done;
+  check_bool "streams differ" true !differs
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: non-positive bound")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Sim.Rng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.float r 2.5 in
+    check_bool "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Sim.Rng.create ~seed:9 in
+  let child = Sim.Rng.split parent in
+  check_bool "different values" true (Sim.Rng.int64 parent <> Sim.Rng.int64 child)
+
+let test_rng_shuffle_permutes () =
+  let r = Sim.Rng.create ~seed:11 in
+  let arr = Array.init 50 Fun.id in
+  let copy = Array.copy arr in
+  Sim.Rng.shuffle r arr;
+  Array.sort Int.compare arr;
+  check_bool "same multiset" true (arr = copy)
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~name:"exponential draws are positive" ~count:100
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let r = Sim.Rng.create ~seed in
+      Sim.Rng.exponential r ~mean:5.0 > 0.)
+
+(* ---------- Stats ---------- *)
+
+let test_counter () =
+  let c = Sim.Stats.Counter.create () in
+  Sim.Stats.Counter.incr c;
+  Sim.Stats.Counter.add c 5;
+  check_int "value" 6 (Sim.Stats.Counter.value c);
+  Sim.Stats.Counter.reset c;
+  check_int "reset" 0 (Sim.Stats.Counter.value c)
+
+let test_meter () =
+  let m = Sim.Stats.Meter.create () in
+  for _ = 1 to 10 do
+    Sim.Stats.Meter.mark m ~bytes:1_000
+  done;
+  check_int "events" 10 (Sim.Stats.Meter.events m);
+  check_int "bytes" 10_000 (Sim.Stats.Meter.bytes m);
+  (* 10 kB in 1 ms = 80 Mb/s *)
+  check (Alcotest.float 1e-6) "mbps" 80.
+    (Sim.Stats.Meter.rate_mbps m ~elapsed:(Sim.Time.ms 1))
+
+let test_tw_avg () =
+  let a = Sim.Stats.Tw_avg.create ~now:0 ~value:0. in
+  Sim.Stats.Tw_avg.set a ~now:(Sim.Time.sec 1) 10.;
+  (* 0 for 1s, 10 for 1s -> mean 5 *)
+  check (Alcotest.float 1e-6) "mean" 5.
+    (Sim.Stats.Tw_avg.mean a ~now:(Sim.Time.sec 2));
+  Alcotest.check_raises "backwards" (Invalid_argument "Tw_avg: time going backwards")
+    (fun () -> Sim.Stats.Tw_avg.set a ~now:0 3.)
+
+let test_histogram () =
+  let h = Sim.Stats.Histogram.create () in
+  List.iter (Sim.Stats.Histogram.add h) [ 1; 2; 4; 100; 1000 ];
+  check_int "count" 5 (Sim.Stats.Histogram.count h);
+  check_int "max" 1000 (Sim.Stats.Histogram.max_value h);
+  check_int "min" 1 (Sim.Stats.Histogram.min_value h);
+  check (Alcotest.float 1e-6) "mean" 221.4 (Sim.Stats.Histogram.mean h);
+  check_bool "p50 below p99" true
+    (Sim.Stats.Histogram.percentile h 50. <= Sim.Stats.Histogram.percentile h 99.)
+
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 100_000))
+    (fun xs ->
+      let h = Sim.Stats.Histogram.create () in
+      List.iter (Sim.Stats.Histogram.add h) xs;
+      let p25 = Sim.Stats.Histogram.percentile h 25. in
+      let p50 = Sim.Stats.Histogram.percentile h 50. in
+      let p99 = Sim.Stats.Histogram.percentile h 99. in
+      p25 <= p50 && p50 <= p99)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "units" `Quick test_time_units;
+        Alcotest.test_case "float conversions" `Quick test_time_float_conversions;
+        Alcotest.test_case "invalid floats" `Quick test_time_invalid_floats;
+        Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        Alcotest.test_case "rates" `Quick test_time_rates;
+        Alcotest.test_case "pretty printing" `Quick test_time_pp;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        qcheck prop_heap_sorts;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "time advances" `Quick test_engine_time_advances;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "run until" `Quick test_engine_run_until;
+        Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        Alcotest.test_case "event limit" `Quick test_engine_event_limit;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "split" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        qcheck prop_rng_exponential_positive;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "counter" `Quick test_counter;
+        Alcotest.test_case "meter" `Quick test_meter;
+        Alcotest.test_case "time-weighted avg" `Quick test_tw_avg;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        qcheck prop_histogram_percentile_monotone;
+      ] );
+  ]
