@@ -219,11 +219,28 @@ let extension_cmd =
   let doc = "Run the beyond-the-paper extension experiments (latency, bidirectional)." in
   Cmd.v (Cmd.info "extension" ~doc) Term.(const run $ quick)
 
+(* ---- protection coverage ---- *)
+
+let protection_cmd =
+  let run quick seed trace =
+    if trace then
+      Sim.Trace.set_sink (Some (Sim.Trace.formatter_sink Format.err_formatter));
+    Experiments.Protection_coverage.print
+      (Experiments.Protection_coverage.sweep ~quick ~seed ())
+  in
+  let doc =
+    "Fault-injection sweep: malicious-driver attacks and injected bus/link \
+     faults against every protection mode, reporting detection, leakage and \
+     containment."
+  in
+  Cmd.v (Cmd.info "protection" ~doc) Term.(const run $ quick $ seed $ trace)
+
 let main =
   let doc =
     "Reproduction of 'Concurrent Direct Network Access for Virtual Machine \
      Monitors' (HPCA 2007)"
   in
-  Cmd.group (Cmd.info "cdna_sim" ~doc) [ run_cmd; table_cmd; figure_cmd; extension_cmd; verify_cmd ]
+  Cmd.group (Cmd.info "cdna_sim" ~doc)
+    [ run_cmd; table_cmd; figure_cmd; extension_cmd; protection_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,4 @@
-type fault = [ `Bad_range | `Iommu_denied of Memory.Addr.pfn ]
+type fault = [ `Bad_range | `Iommu_denied of Memory.Addr.pfn | `Injected ]
 
 type t = {
   engine : Sim.Engine.t;
@@ -6,10 +6,12 @@ type t = {
   bandwidth_bps : int;
   latency : Sim.Time.t;
   mutable iommu : Memory.Iommu.t option;
+  mutable injector : (context:int -> addr:Memory.Addr.t -> len:int -> bool) option;
   mutable busy_until : Sim.Time.t;
   mutable transfers : int;
   mutable bytes_moved : int;
   mutable busy_time : Sim.Time.t;
+  mutable injected_faults : int;
 }
 
 let create engine ~mem ?(bandwidth_bps = 8_500_000_000) ?(latency = Sim.Time.ns 600) () =
@@ -20,13 +22,27 @@ let create engine ~mem ?(bandwidth_bps = 8_500_000_000) ?(latency = Sim.Time.ns 
     bandwidth_bps;
     latency;
     iommu = None;
+    injector = None;
     busy_until = Sim.Time.zero;
     transfers = 0;
     bytes_moved = 0;
     busy_time = Sim.Time.zero;
+    injected_faults = 0;
   }
 
 let set_iommu t iommu = t.iommu <- iommu
+let set_fault_injector t f = t.injector <- f
+
+(* An injected fault models a parity/timeout error on a transaction that
+   was otherwise admitted: it occupies the bus like the real transfer
+   would, then completes in error. *)
+let injected t ~context ~addr ~len =
+  match t.injector with
+  | None -> false
+  | Some f ->
+      let hit = f ~context ~addr ~len in
+      if hit then t.injected_faults <- t.injected_faults + 1;
+      hit
 
 let in_range t ~addr ~len =
   len >= 0 && addr >= 0
@@ -70,7 +86,10 @@ let read t ~context ~addr ~len k =
     match iommu_check t ~context ~addr ~len with
     | Error e -> k (Error (e :> fault))
     | Ok () ->
-        submit t ~len (fun () -> k (Ok (Memory.Phys_mem.read t.mem ~addr ~len)))
+        if injected t ~context ~addr ~len then
+          submit t ~len (fun () -> k (Error `Injected))
+        else
+          submit t ~len (fun () -> k (Ok (Memory.Phys_mem.read t.mem ~addr ~len)))
 
 let write t ~context ~addr ~data k =
   let len = Bytes.length data in
@@ -79,17 +98,24 @@ let write t ~context ~addr ~data k =
     match iommu_check t ~context ~addr ~len with
     | Error e -> k (Error (e :> fault))
     | Ok () ->
-        submit t ~len (fun () ->
-            Memory.Phys_mem.write t.mem ~addr data;
-            k (Ok ()))
+        if injected t ~context ~addr ~len then
+          submit t ~len (fun () -> k (Error `Injected))
+        else
+          submit t ~len (fun () ->
+              Memory.Phys_mem.write t.mem ~addr data;
+              k (Ok ()))
 
 let access t ~context ~addr ~len k =
   if not (in_range t ~addr ~len) then k (Error `Bad_range)
   else
     match iommu_check t ~context ~addr ~len with
     | Error e -> k (Error (e :> fault))
-    | Ok () -> submit t ~len (fun () -> k (Ok ()))
+    | Ok () ->
+        if injected t ~context ~addr ~len then
+          submit t ~len (fun () -> k (Error `Injected))
+        else submit t ~len (fun () -> k (Ok ()))
 
 let transfers t = t.transfers
 let bytes_moved t = t.bytes_moved
 let busy_time t = t.busy_time
+let injected_faults t = t.injected_faults

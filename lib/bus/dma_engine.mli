@@ -17,7 +17,8 @@ type t
 
 type fault =
   [ `Bad_range  (** Address range outside physical memory. *)
-  | `Iommu_denied of Memory.Addr.pfn ]
+  | `Iommu_denied of Memory.Addr.pfn
+  | `Injected  (** Fault injected via {!set_fault_injector}. *) ]
 
 val create :
   Sim.Engine.t ->
@@ -31,6 +32,14 @@ val create :
 
 (** Install (or remove) an IOMMU consulted on every subsequent transfer. *)
 val set_iommu : t -> Memory.Iommu.t option -> unit
+
+(** [set_fault_injector t (Some f)] consults [f] on every transfer that
+    passed range and IOMMU checks; when [f] answers true the transaction
+    still occupies the bus (modelling a parity/timeout error on an
+    admitted transfer) but completes with [`Injected] instead of moving
+    bytes. Typically [f] forwards to [Sim.Fault_inject.fire]. *)
+val set_fault_injector :
+  t -> (context:int -> addr:Memory.Addr.t -> len:int -> bool) option -> unit
 
 (** [read t ~context ~addr ~len k] DMA-reads host memory (device <- host)
     and passes the bytes to [k] at completion time. [context] identifies
@@ -71,3 +80,6 @@ val bytes_moved : t -> int
 
 (** Simulated time the bus has spent busy. *)
 val busy_time : t -> Sim.Time.t
+
+(** Transfers failed with [`Injected]. *)
+val injected_faults : t -> int

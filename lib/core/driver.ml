@@ -23,6 +23,7 @@ type t = {
   mutable rx_count : int;
   mutable polls : int;
   mutable enqueue_errors : int;
+  mutable recoveries : int;
   mutable generation : int;
       (* Bumped on rebind; in-flight hypercall continuations from the
          previous binding must not touch the new context. *)
@@ -259,16 +260,13 @@ let rec create ~hyp ~handle ~costs ?(tx_slots = 256) ?(rx_slots = 256)
       rx_count = 0;
       polls = 0;
       enqueue_errors = 0;
+      recoveries = 0;
       generation = 0;
       init_pages = (tx_ring_page, rx_ring_page, status_page);
     }
   in
   let netdev =
-    Guestos.Netdev.create
-      ~mac:
-        (match Nic.Dp.mac_of (Cnic.dp (Hyp.nic_of handle)) ~ctx:(Hyp.ctx_id handle) with
-        | Some mac -> mac
-        | None -> Ethernet.Mac_addr.make 0)
+    Guestos.Netdev.create ~mac:(Hyp.mac_of handle)
       ~send:(fun frames -> send_impl t frames)
       ~tx_space:(fun () -> tx_space t)
   in
@@ -307,9 +305,25 @@ let rebind t handle =
   t.poll_scheduled <- false;
   initialize t
 
+(* Guest-driven fault recovery: when the NIC halts this driver's context
+   with a protection fault, ask the hypervisor for a fresh context (same
+   MAC, bounded retry/backoff inside {!Hyp.reassign}) and rebind to it.
+   Frames lost on the halted context are the transport's problem, exactly
+   as for migration. *)
+let rec enable_auto_recovery ?max_retries ?backoff t =
+  Hyp.set_fault_hook t.handle (fun () ->
+      Hyp.reassign t.hyp t.handle ?max_retries ?backoff (function
+        | Ok fresh ->
+            t.recoveries <- t.recoveries + 1;
+            rebind t fresh;
+            enable_auto_recovery ?max_retries ?backoff t
+        | Error `No_free_context -> ()))
+
 let netdev t = the_netdev t
 let ready t = t.ready
 let tx_count t = t.tx_count
 let rx_count t = t.rx_count
 let polls t = t.polls
 let enqueue_errors t = t.enqueue_errors
+let recoveries t = t.recoveries
+let handle t = t.handle

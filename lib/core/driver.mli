@@ -43,9 +43,24 @@ val handle_interrupt : t -> unit
     problem (as on any link flap). *)
 val rebind : t -> Hyp.ctx_handle -> unit
 
+(** [enable_auto_recovery t] arranges for the driver to recover from
+    protection faults on its context without outside help: the
+    hypervisor's fault report triggers {!Hyp.reassign} (bounded
+    retry/backoff controlled by [max_retries]/[backoff]) and the driver
+    rebinds to the fresh context. Recovery re-arms itself after each
+    successful rebind. *)
+val enable_auto_recovery :
+  ?max_retries:int -> ?backoff:Sim.Time.t -> t -> unit
+
 val tx_count : t -> int
 val rx_count : t -> int
 val polls : t -> int
 
 (** Enqueue hypercalls rejected by the hypervisor (diagnostics). *)
 val enqueue_errors : t -> int
+
+(** Successful automatic fault recoveries (context reassign + rebind). *)
+val recoveries : t -> int
+
+(** The driver's current context handle (changes across rebinds). *)
+val handle : t -> Hyp.ctx_handle

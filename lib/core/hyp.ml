@@ -18,11 +18,15 @@ type ctx_handle = {
   nic : Cnic.t;
   ctx : int;
   guest : Xen.Domain.t;
+  mac : Ethernet.Mac_addr.t;
+      (* As recorded at assignment; the NIC forgets it at revocation, but
+         migration and recovery must keep presenting the same address. *)
   isr_cost : Sim.Time.t;
   mapping : Bus.Mmio.mapping;
   hw : Nic.Driver_if.t;
   chan : Xen.Event_channel.t;
   handler : (unit -> unit) ref;
+  fault_hook : (unit -> unit) option ref;
   mutable revoked : bool;
   tx : ring_state;
   rx : ring_state;
@@ -92,10 +96,20 @@ let add_nic t nic =
           Memory.Iommu.grant iommu ~context:(Cnic.intr_dma_context nic) pfn
         done
     | Cdna_costs.Full | Cdna_costs.Disabled -> ());
-    (* Fault reports from the NIC are guest-specific (paper 3.3). *)
+    (* Fault reports from the NIC are guest-specific (paper 3.3). The
+       per-handle recovery hook runs in a fresh event so that revocation
+       does not reenter the datapath mid-fault. *)
     Cnic.set_fault_handler nic (fun ~ctx _dir _fault ->
         match handle_of t nic ~ctx with
-        | Some h -> t.faults <- (Xen.Domain.id h.guest, ctx) :: t.faults
+        | Some h ->
+            t.faults <- (Xen.Domain.id h.guest, ctx) :: t.faults;
+            (match !(h.fault_hook) with
+            | None -> ()
+            | Some hook ->
+                ignore
+                  (Sim.Engine.schedule
+                     (Xen.Hypervisor.engine t.xen)
+                     ~delay:Sim.Time.zero hook))
         | None -> ());
     (* Physical interrupt -> drain bit vectors -> virtual interrupts. *)
     Xen.Hypervisor.route_irq t.xen (Cnic.irq nic) (fun () ->
@@ -138,11 +152,13 @@ let assign_context t ~nic ~guest ~mac ~isr_cost =
           nic;
           ctx;
           guest;
+          mac;
           isr_cost;
           mapping;
           hw = Cnic.driver_if nic ~ctx ~mapping;
           chan;
           handler;
+          fault_hook = ref None;
           revoked = false;
           tx = fresh_ring_state ();
           rx = fresh_ring_state ();
@@ -153,6 +169,7 @@ let assign_context t ~nic ~guest ~mac ~isr_cost =
       Ok h
 
 let set_event_handler h f = h.handler := f
+let set_fault_hook h f = h.fault_hook := Some f
 
 let unpin_all t h rs =
   let mem = mem t in
@@ -185,11 +202,10 @@ let revoke t h =
   end
 
 let migrate t h ~to_nic =
-  let mac =
-    match Nic.Dp.mac_of (Cnic.dp h.nic) ~ctx:h.ctx with
-    | Some mac -> mac
-    | None -> Ethernet.Mac_addr.make 0 (* already revoked; keep a MAC *)
-  in
+  (* The handle remembers the MAC from assignment time: after revocation
+     the NIC no longer knows it, and a placeholder MAC would collide in
+     the target's MAC table when several revoked contexts migrate. *)
+  let mac = h.mac in
   let handler = !(h.handler) in
   revoke t h;
   match
@@ -203,10 +219,40 @@ let migrate t h ~to_nic =
       set_event_handler fresh handler;
       Ok fresh
 
+(* Recovery from a context fault (or any revocation): tear the faulted
+   context down completely — unpin, revoke, free the slot — then assign a
+   fresh context on the same NIC with the same MAC and interrupt binding.
+   Contexts are a finite hardware resource, so assignment may transiently
+   fail; retry with exponential backoff, bounded. *)
+let reassign t h ?(max_retries = 3) ?(backoff = Sim.Time.us 100) k =
+  let engine = Xen.Hypervisor.engine t.xen in
+  let handler = !(h.handler) in
+  revoke t h;
+  let rec attempt retries_left backoff =
+    match
+      assign_context t ~nic:h.nic ~guest:h.guest ~mac:h.mac
+        ~isr_cost:h.isr_cost
+    with
+    | Ok fresh ->
+        trace t (fun () ->
+            Printf.sprintf "reassigned dom%d ctx%d -> ctx%d"
+              (Xen.Domain.id h.guest) h.ctx fresh.ctx);
+        set_event_handler fresh handler;
+        k (Ok fresh)
+    | Error `No_free_context ->
+        if retries_left <= 0 then k (Error `No_free_context)
+        else
+          ignore
+            (Sim.Engine.schedule engine ~delay:backoff (fun () ->
+                 attempt (retries_left - 1) (Sim.Time.mul_int backoff 2)))
+  in
+  attempt max_retries backoff
+
 let is_revoked h = h.revoked
 let guest_of h = h.guest
 let ctx_id h = h.ctx
 let nic_of h = h.nic
+let mac_of h = h.mac
 let driver_if h = h.hw
 let virq_deliveries h = Xen.Event_channel.deliveries h.chan
 
@@ -338,11 +384,21 @@ let enqueue_cost t ~n_desc ~n_unpin =
          small per-descriptor cost models the stores themselves. *)
       Sim.Time.mul_int (Sim.Time.ns 60) n_desc
 
+(* Hypervisor-side cost of unpinning [n] descriptors' pages, over and
+   above what a hypercall was already charged for. *)
+let unpin_delta_cost t n =
+  let c = t.costs in
+  match t.protection with
+  | Cdna_costs.Full -> Sim.Time.mul_int c.Cdna_costs.unpin_per_desc n
+  | Cdna_costs.Iommu -> Sim.Time.mul_int c.Cdna_costs.iommu_per_desc n
+  | Cdna_costs.Disabled -> Sim.Time.zero
+
 let enqueue t h dir descs k =
   let n_desc = List.length descs in
-  (* Estimate the unpin work for the cost; the body recomputes exactly.
-     (The estimate equals the final count because nothing else drains the
-     pin queue between here and the body.) *)
+  (* Estimate the unpin work for the up-front hypercall charge from the
+     consumer index visible at call time. NIC status writebacks can land
+     during the hypercall latency, so the body recomputes the real count
+     and charges the difference. *)
   let n_unpin_est =
     if t.protection = Cdna_costs.Disabled then 0
     else begin
@@ -362,7 +418,14 @@ let enqueue t h dir descs k =
       match rs.ring with
       | None -> k (Error `Ring_unregistered)
       | Some ring ->
-          ignore (process_completions t h dir);
+          let n_unpin = process_completions t h dir in
+          if n_unpin > n_unpin_est then
+            (* Writebacks completed more descriptors than the estimate
+               saw; account the missed unpin work against the caller so
+               the charged cost matches the work actually done. *)
+            Xen.Hypervisor.hypercall t.xen ~from:h.guest
+              ~cost:(unpin_delta_cost t (n_unpin - n_unpin_est))
+              (fun () -> ());
           let cons = consumer t h dir in
           if rs.prod + n_desc - cons > Nic.Ring.slots ring then
             k (Error `Ring_full)

@@ -67,6 +67,11 @@ val assign_context :
 (** Install the guest driver's virtual-interrupt handler. *)
 val set_event_handler : ctx_handle -> (unit -> unit) -> unit
 
+(** [set_fault_hook h f] installs a hook run (in a fresh simulation event)
+    whenever the NIC reports a protection fault on this context. Used by
+    the guest driver's automatic recovery (see {!Driver.enable_auto_recovery}). *)
+val set_fault_hook : ctx_handle -> (unit -> unit) -> unit
+
 (** [revoke t h] revokes the context at any time: unmaps the partition
     (subsequent PIO faults), deactivates the hardware context, and drops
     all page pins. *)
@@ -82,10 +87,27 @@ val revoke : t -> ctx_handle -> unit
 val migrate :
   t -> ctx_handle -> to_nic:Cnic.t -> (ctx_handle, [ `No_free_context ]) result
 
+(** [reassign t h k] recovers from a context fault: revokes [h] (unpinning
+    everything) and assigns a fresh context on the same NIC with the MAC
+    recorded at assignment time and the same interrupt binding. If no
+    context is free, retries up to [max_retries] times (default 3) with
+    exponential backoff starting at [backoff] (default 100 us) before
+    reporting failure to [k]. *)
+val reassign :
+  t ->
+  ctx_handle ->
+  ?max_retries:int ->
+  ?backoff:Sim.Time.t ->
+  ((ctx_handle, [ `No_free_context ]) result -> unit) ->
+  unit
+
 val is_revoked : ctx_handle -> bool
 val guest_of : ctx_handle -> Xen.Domain.t
 val ctx_id : ctx_handle -> int
 val nic_of : ctx_handle -> Cnic.t
+
+(** The MAC recorded at {!assign_context} time (survives revocation). *)
+val mac_of : ctx_handle -> Ethernet.Mac_addr.t
 
 (** The guest's hardware interface (PIO through its own mapping). *)
 val driver_if : ctx_handle -> Nic.Driver_if.t

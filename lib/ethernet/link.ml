@@ -8,18 +8,32 @@ type direction = {
   mutable bytes : int;
 }
 
+type verdict = [ `Pass | `Drop | `Corrupt ]
+
 type t = {
   engine : Sim.Engine.t;
   rate_bps : int;
   propagation : Sim.Time.t;
   to_a : direction;
   to_b : direction;
+  mutable tamper : (Frame.t -> verdict) option;
+  mutable dropped : int;
+  mutable corrupted : int;
 }
 
 let create engine ?(rate_bps = 1_000_000_000) ?(propagation = Sim.Time.ns 500) () =
   if rate_bps <= 0 then invalid_arg "Link.create: non-positive rate";
   let dir () = { receiver = None; busy_until = Sim.Time.zero; frames = 0; bytes = 0 } in
-  { engine; rate_bps; propagation; to_a = dir (); to_b = dir () }
+  {
+    engine;
+    rate_bps;
+    propagation;
+    to_a = dir ();
+    to_b = dir ();
+    tamper = None;
+    dropped = 0;
+    corrupted = 0;
+  }
 
 let rate_bps t = t.rate_bps
 
@@ -30,6 +44,24 @@ let attach t side f =
 
 let direction_from t = function A -> t.to_b | B -> t.to_a
 
+let set_tamper t f = t.tamper <- f
+
+(* A corrupted frame keeps its size and headers (so demux and timing are
+   unchanged) but its payload no longer matches: the generator seed is
+   perturbed, and any materialized bytes get one bit flipped, so both
+   [Frame.data_valid] and [Frame.payload_crc] expose the damage. *)
+let corrupt frame =
+  let data =
+    match frame.Frame.data with
+    | None -> None
+    | Some d ->
+        let d = Bytes.copy d in
+        if Bytes.length d > 0 then
+          Bytes.set d 0 (Char.chr (Char.code (Bytes.get d 0) lxor 0x01));
+        Some d
+  in
+  { frame with Frame.payload_seed = frame.Frame.payload_seed lxor 0x5a5a; data }
+
 let send t ~from frame ~on_wire_free =
   let dir = direction_from t from in
   let now = Sim.Engine.now t.engine in
@@ -38,12 +70,27 @@ let send t ~from frame ~on_wire_free =
   let wire_free = Sim.Time.add start ser in
   dir.busy_until <- wire_free;
   ignore (Sim.Engine.schedule_at t.engine wire_free on_wire_free);
-  let arrival = Sim.Time.add wire_free t.propagation in
-  ignore
-    (Sim.Engine.schedule_at t.engine arrival (fun () ->
-         dir.frames <- dir.frames + 1;
-         dir.bytes <- dir.bytes + frame.Frame.payload_len;
-         match dir.receiver with Some f -> f frame | None -> ()))
+  (* Tampering happens "on the wire": the frame still serializes (the
+     sender paid the wire time either way), only delivery changes. *)
+  let verdict =
+    match t.tamper with None -> `Pass | Some f -> f frame
+  in
+  match verdict with
+  | `Drop -> t.dropped <- t.dropped + 1
+  | (`Pass | `Corrupt) as v ->
+      let frame =
+        match v with
+        | `Corrupt ->
+            t.corrupted <- t.corrupted + 1;
+            corrupt frame
+        | `Pass -> frame
+      in
+      let arrival = Sim.Time.add wire_free t.propagation in
+      ignore
+        (Sim.Engine.schedule_at t.engine arrival (fun () ->
+             dir.frames <- dir.frames + 1;
+             dir.bytes <- dir.bytes + frame.Frame.payload_len;
+             match dir.receiver with Some f -> f frame | None -> ()))
 
 let busy t ~from =
   let dir = direction_from t from in
@@ -52,3 +99,6 @@ let busy t ~from =
 let delivered t side =
   let dir = match side with A -> t.to_a | B -> t.to_b in
   (dir.frames, dir.bytes)
+
+let dropped t = t.dropped
+let corrupted t = t.corrupted

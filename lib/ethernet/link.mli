@@ -38,3 +38,20 @@ val busy : t -> from:side -> bool
 
 (** Frames and payload bytes delivered toward the given side. *)
 val delivered : t -> side -> int * int
+
+(** {1 Fault injection} *)
+
+type verdict = [ `Pass | `Drop | `Corrupt ]
+
+(** [set_tamper t (Some f)] consults [f] for every frame handed to
+    {!send}. The frame always serializes (the sender pays wire time
+    either way); [`Drop] suppresses delivery, [`Corrupt] delivers a
+    same-size frame whose payload fails [Frame.data_valid] /
+    [Frame.payload_crc]. Typically [f] forwards to
+    [Sim.Fault_inject.fire]. *)
+val set_tamper : t -> (Frame.t -> verdict) option -> unit
+
+(** Frames suppressed / corrupted by the tamper hook. *)
+val dropped : t -> int
+
+val corrupted : t -> int

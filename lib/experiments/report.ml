@@ -34,6 +34,8 @@ let csv ~header rows =
 
 let mbps v = Printf.sprintf "%.0f" v
 let pct v = Printf.sprintf "%.1f%%" v
+let verdict b = if b then "yes" else "NO"
+let ratio got expected = Printf.sprintf "%d/%d" got expected
 
 let rate v =
   let n = int_of_float (Float.round v) in

@@ -14,6 +14,13 @@ val mbps : float -> string
 
 val pct : float -> string
 
+(** Pass/fail cell: ["yes"] / ["NO"] (failures stand out in a table of
+    passes). *)
+val verdict : bool -> string
+
+(** ["got/expected"] fraction cell. *)
+val ratio : int -> int -> string
+
 (** Rate in events/second with thousands separators, as the paper prints
     interrupt rates ("13,659"). *)
 val rate : float -> string

@@ -1,3 +1,8 @@
+type malice =
+  | Out_of_sequence
+  | Foreign_page of Memory.Addr.pfn
+  | Over_length
+
 type t = {
   mem : Memory.Phys_mem.t;
   post_kernel : cost:Sim.Time.t -> (unit -> unit) -> unit;
@@ -21,6 +26,9 @@ type t = {
   mutable tx_count : int;
   mutable rx_count : int;
   mutable polls : int;
+  mutable malice : (malice * int) option; (* kind, every nth packet *)
+  mutable malice_seen : int;
+  mutable malicious_descs : int;
 }
 
 let page_addr pfn = Memory.Addr.base_of_pfn pfn
@@ -54,6 +62,13 @@ let write_tx_descriptor t frame =
     in
     Memory.Phys_mem.write t.mem ~addr:(page_addr pfn) data
   end;
+  let evil =
+    match t.malice with
+    | None -> None
+    | Some (kind, every) ->
+        t.malice_seen <- t.malice_seen + 1;
+        if t.malice_seen mod every = 0 then Some kind else None
+  in
   let emit ~offset ~len ~eop =
     let slot = t.tx_prod in
     let desc =
@@ -63,6 +78,20 @@ let write_tx_descriptor t frame =
         flags = (if eop then Memory.Dma_desc.flag_end_of_packet else 0);
         seqno = slot land 0xFFFF;
       }
+    in
+    let desc =
+      match evil with
+      | Some kind when eop ->
+          t.malicious_descs <- t.malicious_descs + 1;
+          (match kind with
+          | Out_of_sequence ->
+              { desc with Memory.Dma_desc.seqno = (desc.seqno + 7) land 0xFFFF }
+          | Foreign_page p -> { desc with Memory.Dma_desc.addr = page_addr p }
+          | Over_length ->
+              (* Runs the DMA off the end of the buffer page, far enough
+                 to leave any plausible allocation of this driver. *)
+              { desc with Memory.Dma_desc.len = (4 * Memory.Addr.page_size) + 512 })
+      | Some _ | None -> desc
     in
     Memory.Desc_layout.write t.hw.Nic.Driver_if.desc_layout t.mem
       ~at:(Nic.Ring.slot_addr t.tx_ring slot)
@@ -214,6 +243,9 @@ let create ~mem ~post_kernel ~costs ~hw ~mac ~alloc_pages ?(tx_slots = 256)
       tx_count = 0;
       rx_count = 0;
       polls = 0;
+      malice = None;
+      malice_seen = 0;
+      malicious_descs = 0;
     }
   in
   let netdev =
@@ -236,3 +268,9 @@ let netdev t = the_netdev t
 let tx_count t = t.tx_count
 let rx_count t = t.rx_count
 let polls t = t.polls
+
+let set_malice t ?(every = 1) kind =
+  if every < 1 then invalid_arg "Native_driver.set_malice: every must be >= 1";
+  t.malice <- Option.map (fun k -> (k, every)) kind
+
+let malicious_descs t = t.malicious_descs

@@ -13,6 +13,18 @@
 
 type t
 
+(** Misbehaviors for the malicious-driver mode (see {!set_malice}): the
+    descriptor classes a buggy or hostile guest driver could hand an
+    unprotected NIC — exactly the attacks CDNA's hypervisor validation,
+    sequence numbers and IOMMU are meant to catch (paper sections 3.3 and
+    5.3). *)
+type malice =
+  | Out_of_sequence  (** Forged (skipped-ahead) descriptor sequence number. *)
+  | Foreign_page of Memory.Addr.pfn
+      (** Transmit descriptor pointing at a page this driver does not own. *)
+  | Over_length
+      (** Descriptor length running several pages past the buffer. *)
+
 (** [create ~mem ~post_kernel ~costs ~hw ~mac ~alloc_pages ()] builds the
     driver and initializes the hardware: allocates ring/buffer/status
     pages from its domain (via [alloc_pages]), programs the rings, posts
@@ -55,3 +67,13 @@ val rx_count : t -> int
 (** Number of polls executed (diagnostic; relates interrupt rate to
     batching). *)
 val polls : t -> int
+
+(** [set_malice t ?every (Some kind)] corrupts the end-of-packet transmit
+    descriptor of every [every]th packet (default every packet) with the
+    given misbehavior; [None] restores honesty. Only the ring image is
+    affected — the driver's own bookkeeping still believes the honest
+    descriptor, as a compromised driver's stack would. *)
+val set_malice : t -> ?every:int -> malice option -> unit
+
+(** Corrupted descriptors emitted so far. *)
+val malicious_descs : t -> int

@@ -51,6 +51,7 @@ type stats = {
   rx_bytes : int;
   rx_no_ctx_drops : int;
   rx_overflow_drops : int;
+  rx_truncated : int;
   faults : int;
 }
 
@@ -87,6 +88,7 @@ type t = {
   mutable s_rx_bytes : int;
   mutable s_no_ctx : int;
   mutable s_overflow : int;
+  mutable s_truncated : int;
   mutable s_faults : int;
 }
 
@@ -151,6 +153,7 @@ let create engine ~mem ~dma ~config ~contexts ~dma_context_base ~notify
     s_rx_bytes = 0;
     s_no_ctx = 0;
     s_overflow = 0;
+    s_truncated = 0;
     s_faults = 0;
   }
 
@@ -258,15 +261,17 @@ let rec run_tx_fetch t =
     | None -> ()
     | Some c ->
         let first_fragment = c.sg_frags = [] in
+        (* The reservation itself is the admission check: if it fails the
+           fetch stage stalls until the wire stage frees buffer space (a
+           wire completion re-runs the fetch stage). Ignoring a failed
+           reservation here would make the wire stage's later release
+           underflow the shared-buffer accounting. *)
         if
           first_fragment
-          && Pkt_buf.in_use t.tx_buf + max_frame_bytes
-             > Pkt_buf.capacity t.tx_buf
+          && not (Pkt_buf.try_reserve t.tx_buf ~bytes:max_frame_bytes)
         then () (* stalled until the wire stage frees buffer space *)
         else begin
           t.tx_rr <- c.id;
-          if first_fragment then
-            ignore (Pkt_buf.try_reserve t.tx_buf ~bytes:max_frame_bytes);
           t.fetch_busy <- true;
           t.fetch_ctx <- Some c.id;
           let epoch = c.epoch in
@@ -483,12 +488,15 @@ and rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res =
                   release_rx_bytes t (Ethernet.Frame.wire_bytes frame);
                   trace t (fun () ->
                       Printf.sprintf "rx ctx=%d seq=%d len=%d" c.id
-                        frame.Ethernet.Frame.seq
-                        frame.Ethernet.Frame.payload_len);
+                        frame.Ethernet.Frame.seq len);
                   c.rx_cons <- c.rx_cons + 1;
                   c.rx_frames <- c.rx_frames + 1;
                   t.s_rx_frames <- t.s_rx_frames + 1;
-                  t.s_rx_bytes <- t.s_rx_bytes + frame.Ethernet.Frame.payload_len;
+                  (* Only the bytes that fit the posted buffer were
+                     delivered; a short descriptor truncates the frame. *)
+                  t.s_rx_bytes <- t.s_rx_bytes + len;
+                  if len < frame.Ethernet.Frame.payload_len then
+                    t.s_truncated <- t.s_truncated + 1;
                   Queue.push (idx, frame) c.rx_completions;
                   writeback_status t c;
                   t.notify ~ctx:c.id;
@@ -650,8 +658,11 @@ let stats t =
     rx_bytes = t.s_rx_bytes;
     rx_no_ctx_drops = t.s_no_ctx;
     rx_overflow_drops = t.s_overflow;
+    rx_truncated = t.s_truncated;
     faults = t.s_faults;
   }
 
 let ctx_tx_frames t ~ctx:i = (ctx t i).tx_frames
 let ctx_rx_frames t ~ctx:i = (ctx t i).rx_frames
+let tx_buffer_in_use t = Pkt_buf.in_use t.tx_buf
+let rx_buffer_in_use t = Pkt_buf.in_use t.rx_buf

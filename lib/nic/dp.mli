@@ -144,9 +144,18 @@ type stats = {
   rx_bytes : int;
   rx_no_ctx_drops : int;  (** No active context matched the MAC. *)
   rx_overflow_drops : int;  (** Shared packet buffer full. *)
+  rx_truncated : int;
+      (** Frames delivered short because the posted receive descriptor was
+          smaller than the frame; [rx_bytes] counts delivered bytes only. *)
   faults : int;
 }
 
 val stats : t -> stats
 val ctx_tx_frames : t -> ctx:int -> int
 val ctx_rx_frames : t -> ctx:int -> int
+
+(** Shared packet-buffer occupancy (accounting diagnostics; both return to
+    zero when the datapath is idle). *)
+val tx_buffer_in_use : t -> int
+
+val rx_buffer_in_use : t -> int

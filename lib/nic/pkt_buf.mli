@@ -19,7 +19,9 @@ val try_reserve : t -> bytes:int -> bool
     @raise Invalid_argument on underflow. *)
 val release : t -> bytes:int -> unit
 
-(** Packets refused because the buffer was full. *)
+(** Reservations refused because the buffer was full (receive-path
+    refusals are drops; transmit-path refusals are fetch-stage stalls that
+    retry when space frees up). *)
 val drops : t -> int
 
 (** High-water mark of occupancy. *)

@@ -712,6 +712,117 @@ let test_context_migration () =
   check_int "after: link 1 silent" 20 !wire1;
   check_bool "no faults" true (Cdna.Hyp.faults fx.cdna = [])
 
+(* ---------- Fault injection and recovery ---------- *)
+
+let test_driver_auto_recovery_from_injected_fault () =
+  (* A one-shot injected bus fault on the guest's context: the hypervisor
+     revokes, the driver's auto-recovery reassigns and rebinds, and
+     traffic resumes on the fresh context. *)
+  let fx, h, driver, stack = driver_fixture () in
+  Cdna.Driver.enable_auto_recovery driver;
+  let ctx = Cdna.Hyp.ctx_id h in
+  let fi = Sim.Fault_inject.create ~seed:11 in
+  Sim.Fault_inject.arm fi ~site:"dma"
+    (Sim.Fault_inject.plan ~ctx:(ctx, ctx) Sim.Fault_inject.One_shot);
+  Bus.Dma_engine.set_fault_injector (Cdna.Cnic.dma fx.nic)
+    (Some
+       (fun ~context ~addr ~len:_ ->
+         Sim.Fault_inject.fire fi ~site:"dma" ~ctx:context ~addr ()));
+  let wire = ref 0 in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun _ -> incr wire);
+  let send n start =
+    Guestos.Net_stack.send stack
+      (List.init n (fun i ->
+           Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 1)
+             ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data
+             ~flow:0 ~seq:(start + i) ~payload_len:800
+             ~payload_seed:(start + i) ()))
+  in
+  send 10 0;
+  run fx 30;
+  check_int "injection recorded" 1
+    (Bus.Dma_engine.injected_faults (Cdna.Cnic.dma fx.nic));
+  check_bool "fault attributed to the guest" true
+    (List.exists
+       (fun (dom, _) -> dom = Xen.Domain.id fx.guest)
+       (Cdna.Hyp.faults fx.cdna));
+  check_int "one automatic recovery" 1 (Cdna.Driver.recoveries driver);
+  check_bool "old handle revoked" true (Cdna.Hyp.is_revoked h);
+  check_bool "rebound to a live handle" false
+    (Cdna.Hyp.is_revoked (Cdna.Driver.handle driver));
+  check_bool "driver ready again" true (Cdna.Driver.ready driver);
+  (* Same MAC carried over to the replacement context. *)
+  check_bool "mac preserved across recovery" true
+    (Ethernet.Mac_addr.equal
+       (Cdna.Hyp.mac_of (Cdna.Driver.handle driver))
+       (Ethernet.Mac_addr.make 1));
+  let before = !wire in
+  send 5 100;
+  run fx 20;
+  check_bool "traffic resumes after recovery" true (!wire >= before + 5)
+
+let test_malicious_native_driver_contained () =
+  (* Protection disabled: the rogue guest self-programs its context with
+     an unmodified native driver whose end-of-packet descriptors carry
+     forged sequence numbers. The NIC's own sequence check still halts
+     the context; nothing forged reaches the wire and the benign guest is
+     untouched. *)
+  let fx = fixture ~protection:Cdna.Cdna_costs.Disabled () in
+  let h1 = assign fx ~mac_idx:1 () in
+  let d1 =
+    Cdna.Driver.create ~hyp:fx.cdna ~handle:h1 ~costs:Guestos.Os_costs.default ()
+  in
+  let h2 = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
+  let post_kernel dom ~cost fn = Xen.Hypervisor.kernel_work fx.xen dom ~cost fn in
+  let nd =
+    Guestos.Native_driver.create ~mem:fx.mem
+      ~post_kernel:(post_kernel fx.guest2) ~costs:Guestos.Os_costs.default
+      ~hw:(Cdna.Hyp.driver_if h2)
+      ~mac:(Ethernet.Mac_addr.make 2)
+      ~alloc_pages:(fun n -> Xen.Hypervisor.alloc_pages fx.xen fx.guest2 n)
+      ~tx_slots:16 ~rx_slots:16 ()
+  in
+  Cdna.Hyp.set_event_handler h2 (fun () ->
+      Guestos.Native_driver.handle_interrupt nd);
+  Guestos.Native_driver.set_malice nd
+    (Some Guestos.Native_driver.Out_of_sequence);
+  run fx 5;
+  let stack1 =
+    Guestos.Net_stack.create ~post_kernel:(post_kernel fx.guest)
+      ~costs:Guestos.Os_costs.default ~netdev:(Cdna.Driver.netdev d1)
+  in
+  let stack2 =
+    Guestos.Net_stack.create ~post_kernel:(post_kernel fx.guest2)
+      ~costs:Guestos.Os_costs.default
+      ~netdev:(Guestos.Native_driver.netdev nd)
+  in
+  let rogue_on_wire = ref 0 and benign_on_wire = ref 0 in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun f ->
+      if Ethernet.Mac_addr.equal f.Ethernet.Frame.src (Ethernet.Mac_addr.make 2)
+      then incr rogue_on_wire
+      else incr benign_on_wire);
+  let frames src n =
+    List.init n (fun i ->
+        Ethernet.Frame.make
+          ~src:(Ethernet.Mac_addr.make src)
+          ~dst:(Ethernet.Mac_addr.make 99) ~kind:Ethernet.Frame.Data ~flow:src
+          ~seq:i ~payload_len:900 ~payload_seed:i ())
+  in
+  Guestos.Net_stack.send stack2 (frames 2 8);
+  Guestos.Net_stack.send stack1 (frames 1 8);
+  run fx 20;
+  check_int "benign traffic all delivered" 8 !benign_on_wire;
+  check_int "no forged frame on the wire" 0 !rogue_on_wire;
+  check_bool "descriptors were forged" true
+    (Guestos.Native_driver.malicious_descs nd > 0);
+  check_bool "fault attributed to the rogue guest" true
+    (List.exists
+       (fun (dom, ctx) ->
+         dom = Xen.Domain.id fx.guest2 && ctx = Cdna.Hyp.ctx_id h2)
+       (Cdna.Hyp.faults fx.cdna));
+  check_bool "benign context still active" true
+    (Nic.Dp.is_active (Cdna.Cnic.dp fx.nic) ~ctx:(Cdna.Hyp.ctx_id h1))
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -766,5 +877,12 @@ let suite =
           test_compact_layout_cdna_end_to_end;
         Alcotest.test_case "context migration" `Quick test_context_migration;
         Alcotest.test_case "enqueue accounting" `Quick test_enqueue_call_accounting;
+      ] );
+    ( "cdna.fault_injection",
+      [
+        Alcotest.test_case "auto recovery from injected fault" `Quick
+          test_driver_auto_recovery_from_injected_fault;
+        Alcotest.test_case "malicious native driver contained" `Quick
+          test_malicious_native_driver_contained;
       ] );
   ]

@@ -691,7 +691,9 @@ let test_dp_revoke_mid_sg_packet_releases_buffer () =
       };
     Nic.Dp.tx_doorbell fx.dp ~ctx:0 ~prod:1;
     run fx 1;
-    Nic.Dp.deactivate fx.dp ~ctx:0
+    Nic.Dp.deactivate fx.dp ~ctx:0;
+    check_int "accounting back to zero each round" 0
+      (Nic.Dp.tx_buffer_in_use fx.dp)
   done;
   (* After all those cycles, a fresh context still transmits: the buffer
      was not leaked away. *)
@@ -701,6 +703,149 @@ let test_dp_revoke_mid_sg_packet_releases_buffer () =
   send_one fx d ();
   run fx 1;
   check_int "buffer not leaked" 1 !wire
+
+let test_dp_tx_stall_on_full_buffer () =
+  (* A transmit buffer with room for a single frame reservation: the fetch
+     stage must stall (rather than fetch anyway and later underflow the
+     shared-buffer accounting) and drain everything as the wire stage
+     frees space. *)
+  let engine = Sim.Engine.create () in
+  let mem = Memory.Phys_mem.create ~total_pages:256 () in
+  let dma = Bus.Dma_engine.create engine ~mem () in
+  let config =
+    { Nic.Nic_config.ricenic with Nic.Nic_config.tx_buffer_bytes = 2_000 }
+  in
+  let dp =
+    Nic.Dp.create engine ~mem ~dma ~config ~contexts:4 ~dma_context_base:0
+      ~notify:(fun ~ctx:_ -> ())
+      ~on_fault:(fun ~ctx:_ _ _ -> ())
+      ()
+  in
+  let link = Ethernet.Link.create engine () in
+  Nic.Dp.attach_link dp link ~side:Ethernet.Link.A;
+  let fx =
+    { engine; mem; dp; link; notifications = Hashtbl.create 8; faults = ref [] }
+  in
+  let d = attach_driver fx ~ctx:0 ~mac:(Ethernet.Mac_addr.make 1) in
+  let wire = ref 0 in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun _ -> incr wire);
+  for _ = 1 to 6 do
+    send_one fx d ()
+  done;
+  run fx 5;
+  check_int "all frames drained through the stall" 6 !wire;
+  check_int "no faults" 0 (Nic.Dp.stats fx.dp).Nic.Dp.faults;
+  check_int "buffer accounting back to zero" 0 (Nic.Dp.tx_buffer_in_use fx.dp)
+
+let test_dp_rx_short_descriptor_truncates () =
+  (* A posted buffer shorter than the arriving frame: only the bytes that
+     fit are delivered and the truncation is counted. *)
+  let fx = dp_fixture () in
+  Nic.Dp.activate fx.dp ~ctx:0 ~mac:(Ethernet.Mac_addr.make 1);
+  let rx_ring = Nic.Ring.create ~base:(Memory.Addr.base_of_pfn 40) ~slots:8 () in
+  Nic.Dp.set_rx_ring fx.dp ~ctx:0 rx_ring;
+  Memory.Dma_desc.write fx.mem ~at:(Nic.Ring.slot_addr rx_ring 0)
+    {
+      Memory.Dma_desc.addr = Memory.Addr.base_of_pfn 41;
+      len = 300;
+      flags = 0;
+      seqno = 0;
+    };
+  Nic.Dp.rx_doorbell fx.dp ~ctx:0 ~prod:1;
+  Ethernet.Link.send fx.link ~from:Ethernet.Link.B
+    (Ethernet.Frame.make ~src:(Ethernet.Mac_addr.make 500)
+       ~dst:(Ethernet.Mac_addr.make 1) ~kind:Ethernet.Frame.Data ~flow:0 ~seq:0
+       ~payload_len:1000 ~payload_seed:0 ())
+    ~on_wire_free:ignore;
+  run fx 1;
+  check_int "delivered" 1 (Nic.Dp.rx_completions_pending fx.dp ~ctx:0);
+  let st = Nic.Dp.stats fx.dp in
+  check_int "truncation counted" 1 st.Nic.Dp.rx_truncated;
+  check_int "only delivered bytes counted" 300 st.Nic.Dp.rx_bytes;
+  check_int "rx buffer drained" 0 (Nic.Dp.rx_buffer_in_use fx.dp)
+
+let test_dp_deactivate_mid_fetch_releases_buffer () =
+  (* Deactivation while the descriptor-fetch DMA is still in flight: the
+     completion observes the epoch bump and releases the buffer
+     reservation taken at fetch admission. *)
+  let fx = dp_fixture () in
+  let d = attach_driver fx ~ctx:0 ~mac:(Ethernet.Mac_addr.make 1) in
+  send_one fx d ();
+  (* No run between doorbell and deactivate: the fetch is in flight. *)
+  Nic.Dp.deactivate fx.dp ~ctx:0;
+  run fx 2;
+  check_int "reservation released" 0 (Nic.Dp.tx_buffer_in_use fx.dp);
+  check_int "nothing transmitted" 0 (Nic.Dp.stats fx.dp).Nic.Dp.tx_frames;
+  (* The datapath still works for another context. *)
+  let d1 = attach_driver fx ~ctx:1 ~mac:(Ethernet.Mac_addr.make 2) in
+  let wire = ref 0 in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun _ -> incr wire);
+  send_one fx d1 ();
+  run fx 1;
+  check_int "other context transmits" 1 !wire
+
+let test_dp_injected_dma_fault_isolated () =
+  (* A seed-driven injected bus fault on one context faults that context
+     only; its neighbor keeps transmitting. *)
+  let fx = dp_fixture ~contexts:2 () in
+  let d0 = attach_driver fx ~ctx:0 ~mac:(Ethernet.Mac_addr.make 1) in
+  let d1 = attach_driver fx ~ctx:1 ~mac:(Ethernet.Mac_addr.make 2) in
+  let fi = Sim.Fault_inject.create ~seed:7 in
+  Sim.Fault_inject.arm fi ~site:"dma"
+    (Sim.Fault_inject.plan ~ctx:(0, 0) Sim.Fault_inject.One_shot);
+  Bus.Dma_engine.set_fault_injector (Nic.Dp.dma fx.dp)
+    (Some
+       (fun ~context ~addr ~len:_ ->
+         Sim.Fault_inject.fire fi ~site:"dma" ~ctx:context ~addr ()));
+  send_one fx d0 ();
+  send_one fx d1 ();
+  run fx 2;
+  check_bool "ctx0 faulted" true (Nic.Dp.is_faulted fx.dp ~ctx:0);
+  check_bool "ctx1 healthy" false (Nic.Dp.is_faulted fx.dp ~ctx:1);
+  check_int "ctx1 delivered" 1 (Nic.Dp.ctx_tx_frames fx.dp ~ctx:1);
+  check_int "one injection recorded" 1
+    (Bus.Dma_engine.injected_faults (Nic.Dp.dma fx.dp));
+  check_bool "fault attributed to ctx0" true
+    (List.exists (fun (ctx, _, _) -> ctx = 0) !(fx.faults));
+  check_int "buffer accounting clean" 0 (Nic.Dp.tx_buffer_in_use fx.dp)
+
+let test_link_tamper_drop_and_corrupt () =
+  let fx = dp_fixture () in
+  let d = attach_driver fx ~ctx:0 ~mac:(Ethernet.Mac_addr.make 1) in
+  let got = ref [] in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun f -> got := f :: !got);
+  let fi = Sim.Fault_inject.create ~seed:3 in
+  Sim.Fault_inject.arm fi ~site:"wire"
+    (Sim.Fault_inject.plan (Sim.Fault_inject.Nth 2));
+  Ethernet.Link.set_tamper fx.link
+    (Some
+       (fun _ ->
+         if Sim.Fault_inject.fire fi ~site:"wire" () then `Drop else `Pass));
+  for _ = 1 to 4 do
+    send_one fx d ()
+  done;
+  run fx 2;
+  check_int "second frame dropped" 3 (List.length !got);
+  check_int "drop counted" 1 (Ethernet.Link.dropped fx.link);
+  (* The sender still paid the wire time: all four frames completed. *)
+  check_int "sender-side completions" 4 (Nic.Dp.take_tx_completions fx.dp ~ctx:0);
+  (* Corruption: delivery happens, but the payload identity is broken. *)
+  Ethernet.Link.set_tamper fx.link (Some (fun _ -> `Corrupt));
+  got := [];
+  send_one fx d ();
+  run fx 2;
+  (match !got with
+  | [ f ] ->
+      check_int "payload seed corrupted" (5 lxor 0x5a5a)
+        f.Ethernet.Frame.payload_seed
+  | l ->
+      Alcotest.fail (Printf.sprintf "expected 1 frame, got %d" (List.length l)));
+  check_int "corruption counted" 1 (Ethernet.Link.corrupted fx.link);
+  Ethernet.Link.set_tamper fx.link None;
+  got := [];
+  send_one fx d ();
+  run fx 2;
+  check_int "tamper removed" 5 (List.hd !got).Ethernet.Frame.payload_seed
 
 let prop_dp_conserves_frames =
   (* Random interleavings of sends across contexts: every staged packet
@@ -880,6 +1025,16 @@ let suite =
           test_dp_scatter_gather_interleaves_contexts;
         Alcotest.test_case "revoke mid-sg releases buffer" `Quick
           test_dp_revoke_mid_sg_packet_releases_buffer;
+        Alcotest.test_case "tx stall on full buffer" `Quick
+          test_dp_tx_stall_on_full_buffer;
+        Alcotest.test_case "rx short descriptor truncates" `Quick
+          test_dp_rx_short_descriptor_truncates;
+        Alcotest.test_case "deactivate mid-fetch releases buffer" `Quick
+          test_dp_deactivate_mid_fetch_releases_buffer;
+        Alcotest.test_case "injected dma fault isolated" `Quick
+          test_dp_injected_dma_fault_isolated;
+        Alcotest.test_case "link tamper drop/corrupt" `Quick
+          test_link_tamper_drop_and_corrupt;
         qcheck prop_dp_conserves_frames;
       ] );
     ( "nic.wrappers",

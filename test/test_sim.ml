@@ -271,6 +271,101 @@ let prop_histogram_percentile_monotone =
       let p99 = Sim.Stats.Histogram.percentile h 99. in
       p25 <= p50 && p50 <= p99)
 
+(* ---------- Fault_inject ---------- *)
+
+module FI = Sim.Fault_inject
+
+let bool_series = Alcotest.list Alcotest.bool
+
+let test_fi_trigger_semantics () =
+  let fi = FI.create ~seed:1 in
+  FI.arm fi ~site:"always" (FI.plan FI.Always);
+  FI.arm fi ~site:"once" (FI.plan FI.One_shot);
+  FI.arm fi ~site:"third" (FI.plan (FI.Nth 3));
+  FI.arm fi ~site:"even" (FI.plan (FI.Every_nth 2));
+  let series site = List.init 6 (fun _ -> FI.fire fi ~site ()) in
+  check bool_series "always" [ true; true; true; true; true; true ]
+    (series "always");
+  check bool_series "one shot" [ true; false; false; false; false; false ]
+    (series "once");
+  check bool_series "nth 3" [ false; false; true; false; false; false ]
+    (series "third");
+  check bool_series "every 2nd" [ false; true; false; true; false; true ]
+    (series "even");
+  check_int "observed" 6 (FI.observed fi ~site:"always");
+  check_int "injected" 1 (FI.injected fi ~site:"once");
+  check_int "total across sites" 11 (FI.total_injected fi)
+
+let test_fi_filters () =
+  let fi = FI.create ~seed:1 in
+  FI.arm fi ~site:"s" (FI.plan ~ctx:(2, 4) FI.Always);
+  check_bool "ctx in range" true (FI.fire fi ~site:"s" ~ctx:3 ());
+  check_bool "ctx below" false (FI.fire fi ~site:"s" ~ctx:1 ());
+  check_bool "ctx above" false (FI.fire fi ~site:"s" ~ctx:5 ());
+  (* An event without the attribute never matches a filtering plan. *)
+  check_bool "no ctx attribute" false (FI.fire fi ~site:"s" ());
+  FI.arm fi ~site:"a" (FI.plan ~addr:(4096, 8191) FI.Always);
+  check_bool "addr in range" true (FI.fire fi ~site:"a" ~addr:4096 ());
+  check_bool "addr out of range" false (FI.fire fi ~site:"a" ~addr:8192 ());
+  check_bool "unarmed site" false (FI.fire fi ~site:"other" ());
+  FI.disarm fi ~site:"s";
+  check_bool "disarmed" false (FI.fire fi ~site:"s" ~ctx:3 ());
+  (* Observation counting survives disarm. *)
+  check_int "still observing" 5 (FI.observed fi ~site:"s")
+
+let test_fi_determinism () =
+  let series seed =
+    let fi = FI.create ~seed in
+    FI.arm fi ~site:"p" (FI.plan (FI.Probability 0.3));
+    List.init 200 (fun _ -> FI.fire fi ~site:"p" ())
+  in
+  check bool_series "same seed, same stream" (series 42) (series 42);
+  check_bool "different seed differs" true (series 1 <> series 2);
+  (* Plans draw from private split-off streams: firing another plan
+     between events must not perturb the decisions. *)
+  let interleaved =
+    let fi = FI.create ~seed:42 in
+    FI.arm fi ~site:"p" (FI.plan (FI.Probability 0.3));
+    FI.arm fi ~site:"q" (FI.plan (FI.Probability 0.9));
+    List.init 200 (fun _ ->
+        ignore (FI.fire fi ~site:"q" ());
+        FI.fire fi ~site:"p" ())
+  in
+  check bool_series "other plans do not perturb" (series 42) interleaved
+
+let test_fi_plan_validation () =
+  Alcotest.check_raises "empty ctx range"
+    (Invalid_argument "Fault_inject.plan: empty ctx range") (fun () ->
+      ignore (FI.plan ~ctx:(5, 4) FI.Always));
+  Alcotest.check_raises "empty addr range"
+    (Invalid_argument "Fault_inject.plan: empty addr range") (fun () ->
+      ignore (FI.plan ~addr:(1, 0) FI.Always));
+  Alcotest.check_raises "nth < 1"
+    (Invalid_argument "Fault_inject.plan: n must be >= 1") (fun () ->
+      ignore (FI.plan (FI.Nth 0)));
+  Alcotest.check_raises "every_nth < 1"
+    (Invalid_argument "Fault_inject.plan: n must be >= 1") (fun () ->
+      ignore (FI.plan (FI.Every_nth 0)));
+  Alcotest.check_raises "probability > 1"
+    (Invalid_argument "Fault_inject.plan: probability outside [0, 1]")
+    (fun () -> ignore (FI.plan (FI.Probability 1.5)));
+  Alcotest.check_raises "probability < 0"
+    (Invalid_argument "Fault_inject.plan: probability outside [0, 1]")
+    (fun () -> ignore (FI.plan (FI.Probability (-0.1))))
+
+let prop_fi_every_nth_rate =
+  QCheck.Test.make ~name:"every_nth injects exactly floor(events/n) times"
+    ~count:100
+    QCheck.(pair (int_range 1 20) (int_range 0 200))
+    (fun (n, events) ->
+      let fi = FI.create ~seed:5 in
+      FI.arm fi ~site:"s" (FI.plan (FI.Every_nth n));
+      for _ = 1 to events do
+        ignore (FI.fire fi ~site:"s" ())
+      done;
+      FI.injected fi ~site:"s" = events / n
+      && FI.observed fi ~site:"s" = events)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -320,5 +415,13 @@ let suite =
         Alcotest.test_case "time-weighted avg" `Quick test_tw_avg;
         Alcotest.test_case "histogram" `Quick test_histogram;
         qcheck prop_histogram_percentile_monotone;
+      ] );
+    ( "sim.fault_inject",
+      [
+        Alcotest.test_case "trigger semantics" `Quick test_fi_trigger_semantics;
+        Alcotest.test_case "ctx/addr filters" `Quick test_fi_filters;
+        Alcotest.test_case "determinism" `Quick test_fi_determinism;
+        Alcotest.test_case "plan validation" `Quick test_fi_plan_validation;
+        qcheck prop_fi_every_nth_rate;
       ] );
   ]
