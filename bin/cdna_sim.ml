@@ -97,40 +97,143 @@ let trace =
         ~doc:"Stream datapath trace events (NIC tx/rx, faults, interrupt \
               decode) to stderr. Voluminous; combine with --quick.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record all trace events and write them as Chrome trace_event \
+           JSON (open in about://tracing or ui.perfetto.dev).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the end-of-run metrics registry snapshot as JSON.")
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  output_char oc '\n';
+  close_out oc
+
+(* Install a recorder sink (takes precedence over --trace's stderr sink). *)
+let setup_recorder () =
+  let r = Sim.Trace.Recorder.create () in
+  Sim.Trace.set_sink (Some (Sim.Trace.Recorder.sink r));
+  r
+
+let name_processes recorder xen =
+  Sim.Trace.Recorder.set_process_name recorder ~pid:0 "hypervisor";
+  List.iter
+    (fun d ->
+      Sim.Trace.Recorder.set_process_name recorder
+        ~pid:(Xen.Domain.id d + 1)
+        (Xen.Domain.name d))
+    (Xen.Hypervisor.domains xen)
+
+let emit_artifacts ~recorder ~trace_out ~metrics_out tb =
+  (match recorder, trace_out with
+  | Some r, Some path ->
+      name_processes r tb.Experiments.Testbed.xen;
+      write_file path (Sim.Trace.Recorder.to_chrome_string r);
+      Format.printf "trace: %s (%d events%s)@." path
+        (Sim.Trace.Recorder.count r)
+        (let d = Sim.Trace.Recorder.dropped r in
+         if d > 0 then Printf.sprintf ", %d dropped" d else "")
+  | _ -> ());
+  match metrics_out with
+  | Some path ->
+      write_file path
+        (Sim.Json.to_string
+           (Sim.Metrics.to_json tb.Experiments.Testbed.metrics));
+      Format.printf "metrics: %s (%d series)@." path
+        (Sim.Metrics.size tb.Experiments.Testbed.metrics)
+  | None -> ()
+
 (* ---- run one experiment ---- *)
+
+let build_cfg system nic pattern guests nics protection materialize seed =
+  {
+    Experiments.Config.default with
+    Experiments.Config.system;
+    nic;
+    pattern;
+    guests;
+    nics;
+    protection;
+    materialize;
+    seed;
+  }
+
+let print_measurement m =
+  Format.printf "%a@." Experiments.Run.pp m;
+  Format.printf
+    "drops=%d faults=%d integrity_failures=%d fairness=%.3f sim_events=%d@."
+    m.Experiments.Run.rx_drops m.Experiments.Run.faults
+    m.Experiments.Run.integrity_failures m.Experiments.Run.fairness
+    m.Experiments.Run.events_fired
 
 let run_cmd =
   let run quick system nic pattern guests nics protection materialize seed
-      trace =
+      trace trace_out metrics_out =
     if trace then
       Sim.Trace.set_sink (Some (Sim.Trace.formatter_sink Format.err_formatter));
-    let cfg =
-      {
-        Experiments.Config.default with
-        Experiments.Config.system;
-        nic;
-        pattern;
-        guests;
-        nics;
-        protection;
-        materialize;
-        seed;
-      }
+    let recorder =
+      match trace_out with Some _ -> Some (setup_recorder ()) | None -> None
     in
-    let m = Experiments.Run.run ~quick cfg in
-    Format.printf "%a@." Experiments.Run.pp m;
-    Format.printf
-      "drops=%d faults=%d integrity_failures=%d fairness=%.3f sim_events=%d@."
-      m.Experiments.Run.rx_drops m.Experiments.Run.faults
-      m.Experiments.Run.integrity_failures m.Experiments.Run.fairness
-      m.Experiments.Run.events_fired
+    let cfg = build_cfg system nic pattern guests nics protection materialize seed in
+    let m, tb = Experiments.Run.run_tb ~quick cfg in
+    Sim.Trace.set_sink None;
+    print_measurement m;
+    emit_artifacts ~recorder ~trace_out ~metrics_out tb
   in
   let doc = "Run a single experiment and print its measurement." in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       const run $ quick $ system $ nic $ pattern $ guests $ nics $ protection
-      $ materialize $ seed $ trace)
+      $ materialize $ seed $ trace $ trace_out $ metrics_out)
+
+(* ---- trace: run an experiment purely to produce observability output ---- *)
+
+let trace_cmd =
+  let run quick system nic pattern guests nics protection materialize seed
+      trace_out metrics_out =
+    let recorder = Some (setup_recorder ()) in
+    let cfg = build_cfg system nic pattern guests nics protection materialize seed in
+    let m, tb = Experiments.Run.run_tb ~quick cfg in
+    Sim.Trace.set_sink None;
+    print_measurement m;
+    emit_artifacts ~recorder ~trace_out:(Some trace_out)
+      ~metrics_out:(Some metrics_out) tb
+  in
+  let trace_out_pos =
+    Arg.(
+      value
+      & opt string "cdna-trace.json"
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Output path for the Chrome trace_event JSON.")
+  in
+  let metrics_out_pos =
+    Arg.(
+      value
+      & opt string "cdna-metrics.json"
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Output path for the metrics snapshot JSON.")
+  in
+  let doc =
+    "Run a single experiment with full tracing enabled and write a Chrome \
+     trace_event JSON (load in about://tracing or ui.perfetto.dev) plus a \
+     metrics snapshot JSON."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ quick $ system $ nic $ pattern $ guests $ nics $ protection
+      $ materialize $ seed $ trace_out_pos $ metrics_out_pos)
 
 (* ---- tables ---- *)
 
@@ -241,6 +344,14 @@ let main =
      Monitors' (HPCA 2007)"
   in
   Cmd.group (Cmd.info "cdna_sim" ~doc)
-    [ run_cmd; table_cmd; figure_cmd; extension_cmd; protection_cmd; verify_cmd ]
+    [
+      run_cmd;
+      trace_cmd;
+      table_cmd;
+      figure_cmd;
+      extension_cmd;
+      protection_cmd;
+      verify_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -66,7 +66,7 @@ let iommu_check t ~context ~addr ~len =
    transfer). *)
 let arbitration = Sim.Time.ns 40
 
-let submit t ~len action =
+let submit t ~op ~context ~len action =
   let now = Sim.Engine.now t.engine in
   let start = Sim.Time.max now t.busy_until in
   let occupancy =
@@ -78,6 +78,10 @@ let submit t ~len action =
   t.busy_time <- Sim.Time.add t.busy_time occupancy;
   t.transfers <- t.transfers + 1;
   t.bytes_moved <- t.bytes_moved + len;
+  if Sim.Trace.tag_enabled "dma" then
+    Sim.Trace.complete ~time:start ~dur:occupancy ~tag:"dma" ~tid:context
+      ~args:[ ("len", Sim.Trace.Int len); ("context", Sim.Trace.Int context) ]
+      op;
   ignore (Sim.Engine.schedule_at t.engine (Sim.Time.add bus_free t.latency) action)
 
 let read t ~context ~addr ~len k =
@@ -87,9 +91,10 @@ let read t ~context ~addr ~len k =
     | Error e -> k (Error (e :> fault))
     | Ok () ->
         if injected t ~context ~addr ~len then
-          submit t ~len (fun () -> k (Error `Injected))
+          submit t ~op:"read" ~context ~len (fun () -> k (Error `Injected))
         else
-          submit t ~len (fun () -> k (Ok (Memory.Phys_mem.read t.mem ~addr ~len)))
+          submit t ~op:"read" ~context ~len (fun () ->
+              k (Ok (Memory.Phys_mem.read t.mem ~addr ~len)))
 
 let write t ~context ~addr ~data k =
   let len = Bytes.length data in
@@ -99,9 +104,9 @@ let write t ~context ~addr ~data k =
     | Error e -> k (Error (e :> fault))
     | Ok () ->
         if injected t ~context ~addr ~len then
-          submit t ~len (fun () -> k (Error `Injected))
+          submit t ~op:"write" ~context ~len (fun () -> k (Error `Injected))
         else
-          submit t ~len (fun () ->
+          submit t ~op:"write" ~context ~len (fun () ->
               Memory.Phys_mem.write t.mem ~addr data;
               k (Ok ()))
 
@@ -112,10 +117,16 @@ let access t ~context ~addr ~len k =
     | Error e -> k (Error (e :> fault))
     | Ok () ->
         if injected t ~context ~addr ~len then
-          submit t ~len (fun () -> k (Error `Injected))
-        else submit t ~len (fun () -> k (Ok ()))
+          submit t ~op:"access" ~context ~len (fun () -> k (Error `Injected))
+        else submit t ~op:"access" ~context ~len (fun () -> k (Ok ()))
 
 let transfers t = t.transfers
 let bytes_moved t = t.bytes_moved
 let busy_time t = t.busy_time
 let injected_faults t = t.injected_faults
+
+let register_metrics t m =
+  Sim.Metrics.gauge m "dma.transfers" (fun () -> t.transfers);
+  Sim.Metrics.gauge m "dma.bytes_moved" (fun () -> t.bytes_moved);
+  Sim.Metrics.gauge m "dma.busy_ns" (fun () -> Sim.Time.to_ns t.busy_time);
+  Sim.Metrics.gauge m "dma.injected_faults" (fun () -> t.injected_faults)

@@ -83,3 +83,8 @@ val busy_time : t -> Sim.Time.t
 
 (** Transfers failed with [`Injected]. *)
 val injected_faults : t -> int
+
+(** Expose the bus counters as gauges: [dma.transfers],
+    [dma.bytes_moved], [dma.busy_ns], [dma.injected_faults]. Each bus
+    transaction also traces a ["dma"] slice covering its occupancy. *)
+val register_metrics : t -> Sim.Metrics.t -> unit

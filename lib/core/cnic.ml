@@ -116,3 +116,11 @@ let set_uncongested_hook t f = Nic.Dp.set_uncongested_hook t.dp f
 let rx_congested t = Nic.Dp.rx_congested t.dp
 let stats t = Nic.Dp.stats t.dp
 let interrupts_raised t = t.raised
+
+let register_metrics t m ~labels =
+  Nic.Dp.register_metrics t.dp m ~labels;
+  Nic.Coalesce.register_metrics t.coalescer m ~labels;
+  Nic.Mailbox.register_metrics (Nic.Firmware.mailbox t.firmware) m ~labels;
+  Sim.Metrics.gauge m ~labels "firmware.events_processed" (fun () ->
+      Nic.Firmware.events_processed t.firmware);
+  Sim.Metrics.gauge m ~labels "cnic.interrupts_raised" (fun () -> t.raised)

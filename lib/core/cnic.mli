@@ -87,3 +87,8 @@ val stats : t -> Nic.Dp.stats
 
 (** Physical interrupts raised (after bit-vector DMA). *)
 val interrupts_raised : t -> int
+
+(** Expose datapath, coalescer, mailbox, firmware and interrupt gauges
+    under [labels] (e.g. [[("nic", "cnic0")]]). *)
+val register_metrics :
+  t -> Sim.Metrics.t -> labels:(string * string) list -> unit

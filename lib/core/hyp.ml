@@ -496,3 +496,23 @@ let enqueue t h dir descs k =
 let pinned_pages h = h.tx.pinned + h.rx.pinned
 let faults t = t.faults
 let enqueue_calls t = t.enqueue_calls
+
+let register_metrics t m =
+  Sim.Metrics.gauge m "cdna.enqueue_calls" (fun () -> t.enqueue_calls);
+  Sim.Metrics.gauge m "cdna.faults" (fun () -> List.length t.faults);
+  (* NICs are numbered in registration order; the slot array is stable, so
+     the gauges keep reading the live handle (or 0 after revocation). *)
+  List.iteri
+    (fun i (_, slots) ->
+      let nic_label = ("nic", Printf.sprintf "cnic%d" i) in
+      Array.iteri
+        (fun ctx _ ->
+          let labels = [ nic_label; ("ctx", string_of_int ctx) ] in
+          Sim.Metrics.gauge m ~labels "cdna.ctx.pinned_pages" (fun () ->
+              match slots.(ctx) with Some h -> pinned_pages h | None -> 0);
+          Sim.Metrics.gauge m ~labels "cdna.ctx.virqs" (fun () ->
+              match slots.(ctx) with
+              | Some h -> virq_deliveries h
+              | None -> 0))
+        slots)
+    (List.rev t.nics)

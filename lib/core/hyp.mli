@@ -170,3 +170,9 @@ val faults : t -> (Host.Category.domain_id * int) list
 
 (** Total enqueue hypercalls executed. *)
 val enqueue_calls : t -> int
+
+(** Expose [cdna.enqueue_calls], [cdna.faults] and per-(NIC, context)
+    [cdna.ctx.pinned_pages] / [cdna.ctx.virqs] gauges. NICs are labelled
+    [cnic0], [cnic1], ... in {!add_nic} order; call after all NICs are
+    registered. *)
+val register_metrics : t -> Sim.Metrics.t -> unit

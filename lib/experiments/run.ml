@@ -74,7 +74,7 @@ let nic_drops stats =
 let nic_faults stats =
   List.fold_left (fun acc (s : Nic.Dp.stats) -> acc + s.Nic.Dp.faults) 0 stats
 
-let run ?(quick = false) (cfg : Config.t) =
+let run_tb ?(quick = false) (cfg : Config.t) =
   let cfg =
     if quick then
       {
@@ -88,7 +88,7 @@ let run ?(quick = false) (cfg : Config.t) =
   tb.Testbed.start ();
   Sim.Engine.run tb.Testbed.engine ~until:cfg.Config.warmup;
   (* End of warm-up: zero every counter the measurement reads. *)
-  Host.Profile.reset tb.Testbed.profile;
+  Host.Profile.reset ~now:cfg.Config.warmup tb.Testbed.profile;
   List.iter Xen.Domain.reset_virq_count (Xen.Hypervisor.domains tb.Testbed.xen);
   List.iter Workload.Connection.reset_counters tb.Testbed.conns_tx;
   List.iter Workload.Connection.reset_counters tb.Testbed.conns_rx;
@@ -150,7 +150,10 @@ let run ?(quick = false) (cfg : Config.t) =
     latency_p99_us = latency_percentile measured_conns 99.;
     fairness = jain_fairness measured_conns;
     events_fired = Sim.Engine.fired_count tb.Testbed.engine - events0;
-  }
+  },
+  tb
+
+let run ?quick cfg = fst (run_tb ?quick cfg)
 
 let pp ppf m =
   Format.fprintf ppf

@@ -34,4 +34,8 @@ val primary_mbps : measurement -> float
     ~1/4 duration for tests. *)
 val run : ?quick:bool -> Config.t -> measurement
 
+(** Like {!run}, but also returns the testbed so the caller can read its
+    metrics registry or inspect component state after measurement. *)
+val run_tb : ?quick:bool -> Config.t -> measurement * Testbed.t
+
 val pp : Format.formatter -> measurement -> unit

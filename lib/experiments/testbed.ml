@@ -6,6 +6,7 @@ type t = {
   profile : Host.Profile.t;
   mem : Memory.Phys_mem.t;
   xen : Xen.Hypervisor.t;
+  metrics : Sim.Metrics.t;
   driver_dom : Xen.Domain.t option;
   guest_doms : Xen.Domain.t list;
   benches : Workload.Bench_program.t list;
@@ -33,6 +34,7 @@ type builder = {
   b_cpu : Host.Cpu.t;
   b_mem : Memory.Phys_mem.t;
   b_xen : Xen.Hypervisor.t;
+  b_metrics : Sim.Metrics.t;
   dma : Bus.Dma_engine.t;
   links : Ethernet.Link.t array;
   mutable next_conn_id : int;
@@ -159,6 +161,8 @@ let build_native b =
           in
           Nic.Intel_nic.attach_link nic b.links.(i) ~side:Ethernet.Link.A;
           Nic.Intel_nic.enable nic ~mac;
+          Nic.Intel_nic.register_metrics nic b.b_metrics
+            ~labels:[ ("nic", Printf.sprintf "nic%d" i) ];
           b.stats_fns <- (fun () -> Nic.Intel_nic.stats nic) :: b.stats_fns;
           b.irq_fns <- (fun () -> Bus.Irq.count irq) :: b.irq_fns;
           ( (fun () -> Nic.Intel_nic.rx_congested nic),
@@ -172,6 +176,8 @@ let build_native b =
           in
           Nic.Ricenic.attach_link nic b.links.(i) ~side:Ethernet.Link.A;
           Nic.Ricenic.enable nic ~mac;
+          Nic.Ricenic.register_metrics nic b.b_metrics
+            ~labels:[ ("nic", Printf.sprintf "nic%d" i) ];
           b.stats_fns <- (fun () -> Nic.Ricenic.stats nic) :: b.stats_fns;
           b.irq_fns <- (fun () -> Bus.Irq.count irq) :: b.irq_fns;
           ( (fun () -> Nic.Ricenic.rx_congested nic),
@@ -228,6 +234,8 @@ let build_xen b =
               in
               Nic.Intel_nic.attach_link nic b.links.(i) ~side:Ethernet.Link.A;
               Nic.Intel_nic.enable nic ~mac;
+              Nic.Intel_nic.register_metrics nic b.b_metrics
+                ~labels:[ ("nic", Printf.sprintf "nic%d" i) ];
               b.stats_fns <- (fun () -> Nic.Intel_nic.stats nic) :: b.stats_fns;
               b.irq_fns <- (fun () -> Bus.Irq.count irq) :: b.irq_fns;
               ( (fun () -> Nic.Intel_nic.rx_congested nic),
@@ -241,6 +249,8 @@ let build_xen b =
               in
               Nic.Ricenic.attach_link nic b.links.(i) ~side:Ethernet.Link.A;
               Nic.Ricenic.enable nic ~mac;
+              Nic.Ricenic.register_metrics nic b.b_metrics
+                ~labels:[ ("nic", Printf.sprintf "nic%d" i) ];
               b.stats_fns <- (fun () -> Nic.Ricenic.stats nic) :: b.stats_fns;
               b.irq_fns <- (fun () -> Bus.Irq.count irq) :: b.irq_fns;
               ( (fun () -> Nic.Ricenic.rx_congested nic),
@@ -303,6 +313,7 @@ let build_xen b =
          ~xchan
          ~notify_frontend:(fun () ->
            Xen.Event_channel.notify chan_to_guest ~from:driver_dom));
+    Guestos.Netfront.register_metrics netfront b.b_metrics;
     let post_kernel ~cost fn = Xen.Hypervisor.kernel_work b.b_xen dom ~cost fn in
     let stack =
       Guestos.Net_stack.create ~post_kernel ~costs:b.cm.Cost_model.guest_os
@@ -354,6 +365,8 @@ let build_cdna b =
         in
         Cdna.Cnic.attach_link nic b.links.(i) ~side:Ethernet.Link.A;
         Cdna.Hyp.add_nic cdna_hyp nic;
+        Cdna.Cnic.register_metrics nic b.b_metrics
+          ~labels:[ ("nic", Printf.sprintf "cnic%d" i) ];
         b.stats_fns <- (fun () -> Cdna.Cnic.stats nic) :: b.stats_fns;
         b.irq_fns <- (fun () -> Cdna.Cnic.interrupts_raised nic) :: b.irq_fns;
         let peer =
@@ -410,6 +423,7 @@ let build (cfg : Config.t) =
   let total_pages = 65536 + (cfg.Config.guests * 10240) + (cfg.Config.nics * 4096) in
   let mem = Memory.Phys_mem.create ~total_pages () in
   let xen = Xen.Hypervisor.create engine ~cpu ~mem ~costs:cm.Cost_model.xen () in
+  let metrics = Sim.Metrics.create () in
   let dma = Bus.Dma_engine.create engine ~mem () in
   let links =
     Array.init cfg.Config.nics (fun _ -> Ethernet.Link.create engine ())
@@ -422,6 +436,7 @@ let build (cfg : Config.t) =
       b_cpu = cpu;
       b_mem = mem;
       b_xen = xen;
+      b_metrics = metrics;
       dma;
       links;
       rng = Sim.Rng.create ~seed:cfg.Config.seed;
@@ -448,6 +463,17 @@ let build (cfg : Config.t) =
         in
         (Some driver_dom, guests, benches, Some cdna_hyp, handles, None)
   in
+  (* Registered after assembly so every scheduler entity and domain
+     exists; NIC and netfront gauges were registered as they were built. *)
+  Host.Cpu.register_metrics cpu metrics;
+  Bus.Dma_engine.register_metrics dma metrics;
+  Xen.Hypervisor.register_metrics xen metrics;
+  (match cdna_hyp with
+  | Some h -> Cdna.Hyp.register_metrics h metrics
+  | None -> ());
+  (match netback with
+  | Some nb -> Guestos.Netback.register_metrics nb metrics
+  | None -> ());
   let nic_stats () = List.rev_map (fun f -> f ()) b.stats_fns in
   let nic_irqs () = List.fold_left (fun acc f -> acc + f ()) 0 b.irq_fns in
   let peers = List.rev b.peers_rev in
@@ -463,6 +489,7 @@ let build (cfg : Config.t) =
     profile;
     mem;
     xen;
+    metrics;
     driver_dom;
     guest_doms;
     benches;

@@ -26,6 +26,10 @@ type t = {
   profile : Host.Profile.t;
   mem : Memory.Phys_mem.t;
   xen : Xen.Hypervisor.t;
+  metrics : Sim.Metrics.t;
+      (** Registry with every component's gauges pre-registered: scheduler,
+          DMA bus, hypervisor, NICs (per-context), netback/netfront or
+          CDNA contexts as the system dictates. *)
   driver_dom : Xen.Domain.t option;
   guest_doms : Xen.Domain.t list;
   benches : Workload.Bench_program.t list;

@@ -421,3 +421,10 @@ let rx_delivered t = t.rx_delivered
 let rx_dropped t = t.rx_dropped
 let pool_size t = Queue.length t.pool
 let runs t = t.runs
+
+let register_metrics t m =
+  Sim.Metrics.gauge m "netback.tx_forwarded" (fun () -> t.tx_forwarded);
+  Sim.Metrics.gauge m "netback.rx_delivered" (fun () -> t.rx_delivered);
+  Sim.Metrics.gauge m "netback.rx_dropped" (fun () -> t.rx_dropped);
+  Sim.Metrics.gauge m "netback.runs" (fun () -> t.runs);
+  Sim.Metrics.gauge m "netback.pool_size" (fun () -> Queue.length t.pool)

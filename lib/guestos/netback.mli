@@ -68,3 +68,8 @@ val rx_delivered : t -> int
 val rx_dropped : t -> int
 val pool_size : t -> int
 val runs : t -> int
+
+(** Expose the forwarding counters ([netback.tx_forwarded],
+    [netback.rx_delivered], [netback.rx_dropped], [netback.runs],
+    [netback.pool_size]) as gauges. *)
+val register_metrics : t -> Sim.Metrics.t -> unit

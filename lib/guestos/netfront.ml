@@ -178,3 +178,10 @@ let dom t = t.dom
 let pool_size t = Queue.length t.pool
 let tx_count t = t.tx_count
 let rx_count t = t.rx_count
+
+let register_metrics t m =
+  let labels = [ ("domain", Xen.Domain.name t.dom) ] in
+  Sim.Metrics.gauge m ~labels "netfront.tx_count" (fun () -> t.tx_count);
+  Sim.Metrics.gauge m ~labels "netfront.rx_count" (fun () -> t.rx_count);
+  Sim.Metrics.gauge m ~labels "netfront.pool_size" (fun () ->
+      Queue.length t.pool)

@@ -55,13 +55,15 @@ let create engine ?(ctx_switch_cost = Sim.Time.ns 2_500)
     in
     if total_weight > 0 then begin
       let period_us = Sim.Time.to_us_f t.credit_period in
-      let cap = period_us in
       List.iter
         (fun e ->
           let share =
             period_us *. float_of_int e.weight /. float_of_int total_weight
           in
-          e.credits <- Float.min cap (e.credits +. share))
+          (* Bank at most one period's worth of the entity's own share, as
+             in Xen's credit scheduler: an idle low-weight domain must not
+             accumulate a full period and burst past its entitlement. *)
+          e.credits <- Float.min share (e.credits +. share))
         t.entities
     end;
     ignore (Sim.Engine.schedule engine ~delay:t.credit_period replenish)
@@ -90,6 +92,7 @@ let add_entity t ~name ~weight ~domain =
 let domain_of e = e.domain
 let name_of e = e.name
 let runtime_of e = e.runtime
+let credits_of e = e.credits
 
 let runnable e = not (Queue.is_empty e.queue)
 
@@ -154,11 +157,16 @@ let rec dispatch t =
 
 and execute t w ~entity ~switch =
   t.busy <- true;
+  let start = Sim.Engine.now t.engine in
   let total = Sim.Time.add switch w.cost in
   ignore
     (Sim.Engine.schedule t.engine ~delay:total (fun () ->
-         if switch > 0 then Profile.add t.profile Category.Hypervisor switch;
-         Profile.add t.profile w.category w.cost;
+         let stop = Sim.Engine.now t.engine in
+         if switch > 0 then
+           Profile.charge t.profile Category.Hypervisor ~start
+             ~stop:(Sim.Time.add start switch);
+         Profile.charge t.profile w.category
+           ~start:(Sim.Time.add start switch) ~stop;
          t.total_busy <- Sim.Time.add t.total_busy total;
          (match entity with
          | Some e ->
@@ -166,6 +174,22 @@ and execute t w ~entity ~switch =
              e.credits <- e.credits -. Sim.Time.to_us_f total;
              t.slice_used <- Sim.Time.add t.slice_used total
          | None -> ());
+         if Sim.Trace.tag_enabled "sched" then begin
+           let name, pid, tid =
+             match entity with
+             | Some e -> (e.name, e.domain + 1, e.id)
+             | None -> ("irq", 0, 0)
+           in
+           Sim.Trace.complete ~time:start ~dur:total ~tag:"sched" ~pid ~tid
+             ~args:
+               [
+                 ( "category",
+                   Sim.Trace.Str (Format.asprintf "%a" Category.pp w.category)
+                 );
+                 ("switch_ns", Sim.Trace.Int (Sim.Time.to_ns switch));
+               ]
+             name
+         end;
          t.busy <- false;
          w.fn ();
          dispatch t))
@@ -196,3 +220,17 @@ let is_idle t =
 
 let total_busy t = t.total_busy
 let ctx_switches t = t.switches
+
+let register_metrics t m =
+  Sim.Metrics.gauge m "cpu.ctx_switches" (fun () -> t.switches);
+  Sim.Metrics.gauge m "cpu.busy_ns" (fun () -> Sim.Time.to_ns t.total_busy);
+  List.iter
+    (fun e ->
+      let labels =
+        [ ("entity", e.name); ("domain", string_of_int e.domain) ]
+      in
+      Sim.Metrics.gauge m ~labels "cpu.entity.runtime_ns" (fun () ->
+          Sim.Time.to_ns e.runtime);
+      Sim.Metrics.gauge_f m ~labels "cpu.entity.credits_us" (fun () ->
+          e.credits))
+    t.entities

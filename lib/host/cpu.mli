@@ -44,6 +44,10 @@ val name_of : entity -> string
 (** Cumulative CPU time the entity has executed. *)
 val runtime_of : entity -> Sim.Time.t
 
+(** Current credit bank in microseconds. Replenished every [credit_period]
+    and capped at the entity's weighted share of one period. *)
+val credits_of : entity -> float
+
 (** [post t e ~category ~cost fn] queues a work item on entity [e]. When the
     item completes, [cost] is charged to [category] and [fn] runs. Posting
     to a blocked (empty-queue) entity wakes it with boost priority.
@@ -64,3 +68,9 @@ val total_busy : t -> Sim.Time.t
 
 (** Number of entity-to-entity context switches performed so far. *)
 val ctx_switches : t -> int
+
+(** Expose scheduler state as pull gauges: [cpu.ctx_switches],
+    [cpu.busy_ns], and per-entity [cpu.entity.runtime_ns] /
+    [cpu.entity.credits_us] labelled by entity name and domain. Call after
+    all entities are registered. *)
+val register_metrics : t -> Sim.Metrics.t -> unit

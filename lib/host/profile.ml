@@ -4,6 +4,9 @@ type t = {
   kernel : (Category.domain_id, Sim.Time.t ref) Hashtbl.t;
   user : (Category.domain_id, Sim.Time.t ref) Hashtbl.t;
   mutable explicit_idle : Sim.Time.t;
+  (* Time of the last reset; interval charges clamp their start here so a
+     slice spanning the reset only contributes its post-reset part. *)
+  mutable epoch : Sim.Time.t;
 }
 
 let create () =
@@ -12,6 +15,7 @@ let create () =
     kernel = Hashtbl.create 32;
     user = Hashtbl.create 32;
     explicit_idle = Sim.Time.zero;
+    epoch = Sim.Time.zero;
   }
 
 let cell tbl dom =
@@ -46,11 +50,16 @@ let sum_tbl tbl = Hashtbl.fold (fun _ r acc -> Sim.Time.add acc !r) tbl 0
 
 let busy t = Sim.Time.add t.hypervisor (Sim.Time.add (sum_tbl t.kernel) (sum_tbl t.user))
 
-let reset t =
+let charge t cat ~start ~stop =
+  let start = Sim.Time.max start t.epoch in
+  if Sim.Time.compare stop start > 0 then add t cat (Sim.Time.sub stop start)
+
+let reset ?(now = Sim.Time.zero) t =
   t.hypervisor <- Sim.Time.zero;
   Hashtbl.reset t.kernel;
   Hashtbl.reset t.user;
-  t.explicit_idle <- Sim.Time.zero
+  t.explicit_idle <- Sim.Time.zero;
+  t.epoch <- now
 
 type report = {
   hyp : float;

@@ -12,14 +12,22 @@ val create : unit -> t
 (** [add t cat dt] charges [dt] of CPU time to [cat]. *)
 val add : t -> Category.t -> Sim.Time.t -> unit
 
+(** [charge t cat ~start ~stop] charges the part of [\[start, stop\]] that
+    falls after the last {!reset}, so a slice spanning the reset only
+    contributes its post-reset portion (keeps the profile conserved when a
+    measurement window opens mid-slice). *)
+val charge : t -> Category.t -> start:Sim.Time.t -> stop:Sim.Time.t -> unit
+
 (** Total time charged to a category so far. *)
 val total : t -> Category.t -> Sim.Time.t
 
 (** Sum over all non-idle categories. *)
 val busy : t -> Sim.Time.t
 
-(** Drop all accumulated time (used at the end of warm-up). *)
-val reset : t -> unit
+(** Drop all accumulated time (used at the end of warm-up). [now] marks
+    the start of the new accounting window: {!charge} intervals are
+    clamped to it. *)
+val reset : ?now:Sim.Time.t -> t -> unit
 
 (** Fractions of a measurement window, in percent, in the paper's layout. *)
 type report = {

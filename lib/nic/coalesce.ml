@@ -4,6 +4,7 @@ type t = {
   fire : unit -> unit;
   mutable last_fire : Sim.Time.t;
   mutable armed : bool;
+  mutable requests : int;
   mutable fired : int;
   mutable suppressed : int;
   mutable ever_fired : bool;
@@ -16,6 +17,7 @@ let create engine ~min_gap ~fire =
     fire;
     last_fire = Sim.Time.zero;
     armed = false;
+    requests = 0;
     fired = 0;
     suppressed = 0;
     ever_fired = false;
@@ -25,16 +27,22 @@ let deliver t =
   t.armed <- false;
   t.last_fire <- Sim.Engine.now t.engine;
   t.ever_fired <- true;
-  t.fired <- t.fired + 1;
   t.fire ()
 
+(* Every request is accounted exactly once, at request time: either it is
+   merged into an already-pending delivery ([suppressed]) or it commits a
+   delivery — immediate or scheduled, nothing cancels it ([fired]). The
+   invariant [fired + suppressed = requests] therefore holds at every
+   instant, not just when the engine drains. *)
 let request t =
+  t.requests <- t.requests + 1;
   if t.armed then t.suppressed <- t.suppressed + 1
   else begin
     let now = Sim.Engine.now t.engine in
     let allowed =
       if not t.ever_fired then now else Sim.Time.add t.last_fire t.min_gap
     in
+    t.fired <- t.fired + 1;
     if Sim.Time.compare allowed now <= 0 then deliver t
     else begin
       t.armed <- true;
@@ -42,5 +50,11 @@ let request t =
     end
   end
 
+let requests t = t.requests
 let fired t = t.fired
 let suppressed t = t.suppressed
+
+let register_metrics t m ~labels =
+  Sim.Metrics.gauge m ~labels "coalesce.requests" (fun () -> t.requests);
+  Sim.Metrics.gauge m ~labels "coalesce.fired" (fun () -> t.fired);
+  Sim.Metrics.gauge m ~labels "coalesce.suppressed" (fun () -> t.suppressed)

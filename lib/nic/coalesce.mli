@@ -15,8 +15,19 @@ val create : Sim.Engine.t -> min_gap:Sim.Time.t -> fire:(unit -> unit) -> t
     otherwise schedules a merged firing at the earliest allowed time. *)
 val request : t -> unit
 
-(** Interrupts actually delivered. *)
+(** Total {!request} calls. [requests t = fired t + suppressed t] holds at
+    every instant. *)
+val requests : t -> int
+
+(** Interrupts delivered or committed (a scheduled firing counts as soon
+    as it is committed; it equals actual deliveries once the engine
+    drains). *)
 val fired : t -> int
 
-(** Requests merged away by coalescing. *)
+(** Requests merged into an already-pending delivery. *)
 val suppressed : t -> int
+
+(** Expose the three counters as gauges ([coalesce.requests] /
+    [coalesce.fired] / [coalesce.suppressed]) under [labels]. *)
+val register_metrics :
+  t -> Sim.Metrics.t -> labels:(string * string) list -> unit

@@ -168,16 +168,22 @@ let ctx t i =
 
 let dma_ctx t (c : ctx) = t.dma_context_base + c.id
 
-let trace t fmt_msg =
-  Sim.Trace.emit ~time:(Sim.Engine.now t.engine) ~tag:t.cfg.Nic_config.name
-    fmt_msg
+(* Structured datapath events, tagged with the NIC's config name. *)
+let trace_event t ?(args = []) ~tid name =
+  if Sim.Trace.tag_enabled t.cfg.Nic_config.name then
+    Sim.Trace.instant ~time:(Sim.Engine.now t.engine)
+      ~tag:t.cfg.Nic_config.name ~tid ~args name
 
 let fault t (c : ctx) dir f =
   t.s_faults <- t.s_faults + 1;
   c.faulted <- true;
-  trace t (fun () ->
-      Printf.sprintf "protection fault ctx=%d dir=%s" c.id
-        (match dir with Tx -> "tx" | Rx -> "rx"));
+  trace_event t ~tid:c.id
+    ~args:
+      [
+        ("ctx", Sim.Trace.Int c.id);
+        ("dir", Sim.Trace.Str (match dir with Tx -> "tx" | Rx -> "rx"));
+      ]
+    "protection-fault";
   t.on_fault ~ctx:c.id dir f
 
 (* Congestion watermarks: pause above 3/4, resume below 1/2. *)
@@ -411,10 +417,15 @@ and run_tx_wire t =
                   t.s_tx_frames <- t.s_tx_frames + 1;
                   t.s_tx_bytes <- t.s_tx_bytes + frame.Ethernet.Frame.payload_len;
                   if c.epoch = epoch then begin
-                    trace t (fun () ->
-                        Printf.sprintf "tx ctx=%d seq=%d len=%d" c.id
-                          frame.Ethernet.Frame.seq
-                          frame.Ethernet.Frame.payload_len);
+                    trace_event t ~tid:c.id
+                      ~args:
+                        [
+                          ("ctx", Sim.Trace.Int c.id);
+                          ("seq", Sim.Trace.Int frame.Ethernet.Frame.seq);
+                          ( "len",
+                            Sim.Trace.Int frame.Ethernet.Frame.payload_len );
+                        ]
+                      "tx";
                     c.tx_frames <- c.tx_frames + 1;
                     c.tx_cons <- c.tx_cons + n_descs;
                     c.tx_completed_unread <- c.tx_completed_unread + n_descs;
@@ -486,9 +497,14 @@ and rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res =
                   rx_abandon t frame
               | Ok () ->
                   release_rx_bytes t (Ethernet.Frame.wire_bytes frame);
-                  trace t (fun () ->
-                      Printf.sprintf "rx ctx=%d seq=%d len=%d" c.id
-                        frame.Ethernet.Frame.seq len);
+                  trace_event t ~tid:c.id
+                    ~args:
+                      [
+                        ("ctx", Sim.Trace.Int c.id);
+                        ("seq", Sim.Trace.Int frame.Ethernet.Frame.seq);
+                        ("len", Sim.Trace.Int len);
+                      ]
+                    "rx";
                   c.rx_cons <- c.rx_cons + 1;
                   c.rx_frames <- c.rx_frames + 1;
                   t.s_rx_frames <- t.s_rx_frames + 1;
@@ -549,8 +565,13 @@ let attach_link t link ~side =
 let activate t ~ctx:i ~mac =
   let c = ctx t i in
   if c.active then invalid_arg "Dp.activate: context already active";
-  trace t (fun () ->
-      Printf.sprintf "activate ctx=%d mac=%s" i (Ethernet.Mac_addr.to_string mac));
+  trace_event t ~tid:i
+    ~args:
+      [
+        ("ctx", Sim.Trace.Int i);
+        ("mac", Sim.Trace.Str (Ethernet.Mac_addr.to_string mac));
+      ]
+    "activate";
   c.active <- true;
   c.faulted <- false;
   c.mac <- Some mac;
@@ -666,3 +687,20 @@ let ctx_tx_frames t ~ctx:i = (ctx t i).tx_frames
 let ctx_rx_frames t ~ctx:i = (ctx t i).rx_frames
 let tx_buffer_in_use t = Pkt_buf.in_use t.tx_buf
 let rx_buffer_in_use t = Pkt_buf.in_use t.rx_buf
+
+let register_metrics t m ~labels =
+  let g name read = Sim.Metrics.gauge m ~labels name read in
+  g "nic.tx_frames" (fun () -> t.s_tx_frames);
+  g "nic.tx_bytes" (fun () -> t.s_tx_bytes);
+  g "nic.rx_frames" (fun () -> t.s_rx_frames);
+  g "nic.rx_bytes" (fun () -> t.s_rx_bytes);
+  g "nic.rx_no_ctx_drops" (fun () -> t.s_no_ctx);
+  g "nic.rx_overflow_drops" (fun () -> t.s_overflow);
+  g "nic.rx_truncated" (fun () -> t.s_truncated);
+  g "nic.faults" (fun () -> t.s_faults);
+  Array.iter
+    (fun c ->
+      let labels = labels @ [ ("ctx", string_of_int c.id) ] in
+      Sim.Metrics.gauge m ~labels "nic.ctx.tx_frames" (fun () -> c.tx_frames);
+      Sim.Metrics.gauge m ~labels "nic.ctx.rx_frames" (fun () -> c.rx_frames))
+    t.ctxs

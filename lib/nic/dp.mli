@@ -159,3 +159,10 @@ val ctx_rx_frames : t -> ctx:int -> int
 val tx_buffer_in_use : t -> int
 
 val rx_buffer_in_use : t -> int
+
+(** Expose aggregate ([nic.tx_frames], [nic.rx_bytes], drop/fault
+    counters, ...) and per-context ([nic.ctx.tx_frames] /
+    [nic.ctx.rx_frames], with a ["ctx"] label appended) gauges. [labels]
+    must uniquely identify this NIC instance, e.g. [[("nic", "nic0")]]. *)
+val register_metrics :
+  t -> Sim.Metrics.t -> labels:(string * string) list -> unit

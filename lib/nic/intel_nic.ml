@@ -52,3 +52,7 @@ let stats t = Dp.stats t.dp
 let irq t = t.irq
 let set_uncongested_hook t f = Dp.set_uncongested_hook t.dp f
 let rx_congested t = Dp.rx_congested t.dp
+
+let register_metrics t m ~labels =
+  Dp.register_metrics t.dp m ~labels;
+  Coalesce.register_metrics t.coalescer m ~labels

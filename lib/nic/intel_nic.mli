@@ -40,3 +40,8 @@ val irq : t -> Bus.Irq.t
 val set_uncongested_hook : t -> (unit -> unit) -> unit
 
 val rx_congested : t -> bool
+
+(** Expose datapath and coalescer gauges under [labels]
+    (e.g. [[("nic", "nic0")]]). *)
+val register_metrics :
+  t -> Sim.Metrics.t -> labels:(string * string) list -> unit

@@ -89,3 +89,6 @@ let clear_context t ~ctx =
   t.ctx_vector <- t.ctx_vector land lnot (1 lsl ctx)
 
 let events_generated t = t.events
+
+let register_metrics t m ~labels =
+  Sim.Metrics.gauge m ~labels "mailbox.events" (fun () -> t.events)

@@ -59,3 +59,7 @@ val clear_context : t -> ctx:int -> unit
 
 (** Total mailbox-write events generated so far. *)
 val events_generated : t -> int
+
+(** Expose [mailbox.events] as a gauge under [labels]. *)
+val register_metrics :
+  t -> Sim.Metrics.t -> labels:(string * string) list -> unit

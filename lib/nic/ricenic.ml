@@ -2,6 +2,7 @@ type t = {
   dp : Dp.t;
   firmware : Firmware.t;
   mapping : Bus.Mmio.mapping;
+  coalescer : Coalesce.t;
 }
 
 let create engine ~mem ~dma ?(config = Nic_config.ricenic) ~irq ~dma_context () =
@@ -24,7 +25,7 @@ let create engine ~mem ~dma ?(config = Nic_config.ricenic) ~irq ~dma_context () 
       ~process_cost:config.Nic_config.firmware_delay ()
   in
   let mapping = Bus.Mmio.map (Firmware.region firmware ~ctx:0) in
-  { dp; firmware; mapping }
+  { dp; firmware; mapping; coalescer = c }
 
 let attach_link t link ~side = Dp.attach_link t.dp link ~side
 
@@ -42,3 +43,10 @@ let firmware t = t.firmware
 let stats t = Dp.stats t.dp
 let set_uncongested_hook t f = Dp.set_uncongested_hook t.dp f
 let rx_congested t = Dp.rx_congested t.dp
+
+let register_metrics t m ~labels =
+  Dp.register_metrics t.dp m ~labels;
+  Coalesce.register_metrics t.coalescer m ~labels;
+  Mailbox.register_metrics (Firmware.mailbox t.firmware) m ~labels;
+  Sim.Metrics.gauge m ~labels "firmware.events_processed" (fun () ->
+      Firmware.events_processed t.firmware)

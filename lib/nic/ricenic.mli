@@ -33,3 +33,8 @@ val firmware : t -> Firmware.t
 val stats : t -> Dp.stats
 val set_uncongested_hook : t -> (unit -> unit) -> unit
 val rx_congested : t -> bool
+
+(** Expose datapath, coalescer, mailbox and firmware gauges under
+    [labels] (e.g. [[("nic", "nic0")]]). *)
+val register_metrics :
+  t -> Sim.Metrics.t -> labels:(string * string) list -> unit

@@ -128,8 +128,9 @@ module Histogram = struct
 
   let percentile t p =
     if t.n = 0 then 0
+    else if p <= 0. then min_value t
     else begin
-      let p = Float.max 0. (Float.min 100. p) in
+      let p = Float.min 100. p in
       let target = p /. 100. *. float_of_int t.n in
       let rec scan i acc =
         if i >= buckets then t.max_v
@@ -140,7 +141,9 @@ module Histogram = struct
           else scan (i + 1) acc
         end
       in
-      scan 0 0
+      (* Start at the first bucket that can be non-empty, so a tiny
+         [target] cannot be satisfied by leading empty buckets. *)
+      scan (bucket_of t.min_v) 0
     end
 
   let reset t =

@@ -76,7 +76,9 @@ module Histogram : sig
   val min_value : t -> int
 
   (** [percentile t p] approximates the [p]-th percentile ([0 <= p <= 100])
-      as the upper bound of the bucket containing it; 0 when empty. *)
+      as the upper bound of the bucket containing it, clamped to
+      [\[min_value, max_value\]]; [p <= 0.] is exactly [min_value]. 0 when
+      empty. *)
   val percentile : t -> float -> int
 
   val reset : t -> unit

@@ -22,6 +22,13 @@ let deliver t =
     t.pending <- true;
     t.deliveries <- t.deliveries + 1;
     Domain.incr_virq t.target;
+    if Sim.Trace.tag_enabled "irq" then
+      Sim.Trace.instant
+        ~time:(Sim.Engine.now (Hypervisor.engine t.hyp))
+        ~tag:"irq"
+        ~pid:(Domain.id t.target + 1)
+        ~args:[ ("domain", Sim.Trace.Str (Domain.name t.target)) ]
+        "virq";
     Host.Cpu.post (Hypervisor.cpu t.hyp) (Domain.entity t.target)
       ~category:(Domain.kernel t.target) ~cost:t.isr_cost (fun () ->
         t.pending <- false;

@@ -6,10 +6,20 @@ type t = {
   mutable domains : Domain.t list;
   mutable next_id : int;
   mutable phys_irqs : int;
+  mutable hypercalls : int;
 }
 
 let create engine ~cpu ~mem ?(costs = Costs.default) () =
-  { engine; cpu; mem; costs; domains = []; next_id = 0; phys_irqs = 0 }
+  {
+    engine;
+    cpu;
+    mem;
+    costs;
+    domains = [];
+    next_id = 0;
+    phys_irqs = 0;
+    hypercalls = 0;
+  }
 
 let engine t = t.engine
 let cpu t = t.cpu
@@ -59,6 +69,16 @@ let free_page t dom pfn =
   Domain.remove_page dom pfn
 
 let hypercall t ~from ~cost fn =
+  t.hypercalls <- t.hypercalls + 1;
+  if Sim.Trace.tag_enabled "hypercall" then
+    Sim.Trace.instant ~time:(Sim.Engine.now t.engine) ~tag:"hypercall"
+      ~pid:(Domain.id from + 1)
+      ~args:
+        [
+          ("cost_ns", Sim.Trace.Int (Sim.Time.to_ns cost));
+          ("domain", Sim.Trace.Str (Domain.name from));
+        ]
+      "hypercall";
   Host.Cpu.post t.cpu (Domain.entity from) ~category:Host.Category.Hypervisor
     ~cost fn
 
@@ -71,7 +91,22 @@ let user_work t dom ~cost fn =
 let route_irq t irq handler =
   Bus.Irq.set_handler irq (fun () ->
       t.phys_irqs <- t.phys_irqs + 1;
+      if Sim.Trace.tag_enabled "irq" then
+        Sim.Trace.instant ~time:(Sim.Engine.now t.engine) ~tag:"irq"
+          "phys-irq";
       Host.Cpu.post_irq t.cpu ~cost:t.costs.Costs.isr handler)
 
 let physical_irqs t = t.phys_irqs
+let hypercalls t = t.hypercalls
 let reset_counters t = t.phys_irqs <- 0
+
+let register_metrics t m =
+  Sim.Metrics.gauge m "xen.phys_irqs" (fun () -> t.phys_irqs);
+  Sim.Metrics.gauge m "xen.hypercalls" (fun () -> t.hypercalls);
+  List.iter
+    (fun d ->
+      Sim.Metrics.gauge m
+        ~labels:[ ("domain", Domain.name d) ]
+        "xen.domain.virqs"
+        (fun () -> Domain.virq_count d))
+    t.domains

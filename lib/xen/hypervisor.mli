@@ -78,4 +78,11 @@ val route_irq : t -> Bus.Irq.t -> (unit -> unit) -> unit
 (** Physical interrupts handled so far. *)
 val physical_irqs : t -> int
 
+(** Hypercalls issued so far (all domains). *)
+val hypercalls : t -> int
+
 val reset_counters : t -> unit
+
+(** Expose [xen.phys_irqs], [xen.hypercalls] and per-domain
+    [xen.domain.virqs] gauges. Call after all domains exist. *)
+val register_metrics : t -> Sim.Metrics.t -> unit

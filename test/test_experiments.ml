@@ -190,6 +190,72 @@ let test_determinism () =
   check_int "identical event counts" a.Experiments.Run.events_fired
     b.Experiments.Run.events_fired
 
+(* The observability layer must be as deterministic as the simulation:
+   the same seeded run recorded twice yields byte-identical Chrome JSON
+   and metrics JSON, and both parse with our own JSON parser. *)
+let traced_run cfg =
+  let r = Sim.Trace.Recorder.create () in
+  Sim.Trace.set_sink (Some (Sim.Trace.Recorder.sink r));
+  let _, tb = Experiments.Run.run_tb cfg in
+  Sim.Trace.set_sink None;
+  Sim.Trace.Recorder.set_process_name r ~pid:0 "hypervisor";
+  List.iter
+    (fun d ->
+      Sim.Trace.Recorder.set_process_name r
+        ~pid:(Xen.Domain.id d + 1)
+        (Xen.Domain.name d))
+    (Xen.Hypervisor.domains tb.Experiments.Testbed.xen);
+  ( Sim.Trace.Recorder.to_chrome_string r,
+    Sim.Metrics.to_string tb.Experiments.Testbed.metrics )
+
+let traced_cfg =
+  {
+    cdna_tx with
+    Experiments.Config.warmup = Sim.Time.ms 2;
+    duration = Sim.Time.ms 5;
+    seed = 1234;
+  }
+
+let test_trace_byte_identical () =
+  let trace1, metrics1 = traced_run traced_cfg in
+  let trace2, metrics2 = traced_run traced_cfg in
+  check_bool "trace byte-identical" true (String.equal trace1 trace2);
+  check_bool "metrics byte-identical" true (String.equal metrics1 metrics2)
+
+let test_trace_covers_subsystems () =
+  let trace, metrics = traced_run traced_cfg in
+  (match Sim.Json.parse trace with
+  | Error e -> Alcotest.failf "trace not valid JSON: %s" e
+  | Ok j -> (
+      match Sim.Json.member "traceEvents" j with
+      | Some (Sim.Json.List evs) ->
+          check_bool "has events" true (List.length evs > 0);
+          let cats =
+            List.filter_map
+              (fun ev ->
+                match Sim.Json.member "cat" ev with
+                | Some (Sim.Json.String c) -> Some c
+                | _ -> None)
+              evs
+          in
+          List.iter
+            (fun want ->
+              check_bool ("category " ^ want) true (List.mem want cats))
+            [ "sched"; "hypercall"; "dma"; "irq" ]
+      | _ -> Alcotest.fail "traceEvents missing"));
+  match Sim.Json.parse metrics with
+  | Error e -> Alcotest.failf "metrics not valid JSON: %s" e
+  | Ok (Sim.Json.Obj fields) ->
+      check_bool "metrics non-empty" true (List.length fields > 0);
+      (* Per-domain and per-NIC-context series must both be present. *)
+      check_bool "per-domain series" true
+        (List.exists (fun (k, _) ->
+             String.starts_with ~prefix:"cpu.entity." k) fields);
+      check_bool "per-ctx series" true
+        (List.exists (fun (k, _) ->
+             String.starts_with ~prefix:"cdna.ctx." k) fields)
+  | Ok _ -> Alcotest.fail "metrics JSON is not an object"
+
 let test_report_rendering () =
   let table =
     Experiments.Report.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
@@ -418,6 +484,12 @@ let suite =
       ] );
     ( "experiments.scaling",
       [ Alcotest.test_case "xen declines, cdna flat" `Slow test_xen_scales_down_cdna_does_not ] );
+    ( "experiments.observability",
+      [
+        Alcotest.test_case "trace byte-identical" `Slow test_trace_byte_identical;
+        Alcotest.test_case "trace covers subsystems" `Slow
+          test_trace_covers_subsystems;
+      ] );
     ( "experiments.integrity",
       [
         Alcotest.test_case "end-to-end materialized" `Slow

@@ -65,6 +65,25 @@ let test_profile_reset () =
   Host.Profile.reset p;
   check_int "cleared" 0 (Host.Profile.busy p)
 
+let test_profile_charge_clamps_to_reset () =
+  (* Regression: a slice spanning the measurement reset must only charge
+     its post-reset portion; the old code charged the whole slice and the
+     report summed past 100%. *)
+  let p = Host.Profile.create () in
+  Host.Profile.reset ~now:(us 100) p;
+  (* Slice ran 60..140us: only 40us falls inside the window. *)
+  Host.Profile.charge p (Host.Category.Kernel 0) ~start:(us 60) ~stop:(us 140);
+  check_int "clamped to window" (us 40)
+    (Host.Profile.total p (Host.Category.Kernel 0));
+  (* Entirely pre-reset: nothing charged. *)
+  Host.Profile.charge p Host.Category.Hypervisor ~start:(us 10) ~stop:(us 90);
+  check_int "pre-reset dropped" 0
+    (Host.Profile.total p Host.Category.Hypervisor);
+  (* Entirely post-reset: charged in full. *)
+  Host.Profile.charge p Host.Category.Hypervisor ~start:(us 200) ~stop:(us 230);
+  check_int "post-reset full" (us 30)
+    (Host.Profile.total p Host.Category.Hypervisor)
+
 let test_profile_rejects_bad_window () =
   let p = Host.Profile.create () in
   Alcotest.check_raises "zero window"
@@ -188,6 +207,23 @@ let test_cpu_weighted_share () =
     true
     (ratio > 1.8 && ratio < 4.2)
 
+let test_cpu_credit_cap_is_weighted_share () =
+  (* Regression: an idle entity's credit bank must cap at its own weighted
+     share of one period, not at the full period.  With 3:1 weights the
+     light entity is entitled to 1/4 of each 30ms period (7500us); the old
+     cap let it bank the whole 30000us and burst far past its share. *)
+  let engine, _, cpu = make_cpu () in
+  let _heavy = Host.Cpu.add_entity cpu ~name:"heavy" ~weight:768 ~domain:0 in
+  let light = Host.Cpu.add_entity cpu ~name:"light" ~weight:256 ~domain:1 in
+  (* Both idle: credits only accumulate, across many replenish periods. *)
+  run_for engine (Sim.Time.ms 200);
+  let share_us = 30_000. *. 256. /. 1024. in
+  let banked = Host.Cpu.credits_of light in
+  check_bool
+    (Printf.sprintf "banked %.0fus <= weighted share %.0fus" banked share_us)
+    true
+    (banked <= share_us +. 1e-6)
+
 let test_cpu_boost_on_wake () =
   (* A woken (blocked) entity runs before a busy one finishes its slice. *)
   let engine, _, cpu = make_cpu ~ctx_switch_cost:0 ~slice:(Sim.Time.ms 10) () in
@@ -278,6 +314,8 @@ let suite =
         Alcotest.test_case "report split" `Quick test_profile_report_split;
         Alcotest.test_case "report no driver" `Quick test_profile_report_no_driver;
         Alcotest.test_case "reset" `Quick test_profile_reset;
+        Alcotest.test_case "charge clamps to reset" `Quick
+          test_profile_charge_clamps_to_reset;
         Alcotest.test_case "bad window" `Quick test_profile_rejects_bad_window;
         qcheck prop_profile_conservation;
       ] );
@@ -289,6 +327,8 @@ let suite =
         Alcotest.test_case "serializes" `Quick test_cpu_serializes;
         Alcotest.test_case "fair share" `Quick test_cpu_fair_share;
         Alcotest.test_case "weighted share" `Quick test_cpu_weighted_share;
+        Alcotest.test_case "credit cap is weighted share" `Quick
+          test_cpu_credit_cap_is_weighted_share;
         Alcotest.test_case "boost on wake" `Quick test_cpu_boost_on_wake;
         Alcotest.test_case "ctx switch charged" `Quick test_cpu_ctx_switch_charged;
         Alcotest.test_case "no switch same entity" `Quick test_cpu_no_switch_same_entity;

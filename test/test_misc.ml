@@ -14,7 +14,9 @@ let test_time_order () =
 let test_trace_sink () =
   let lines = ref [] in
   Sim.Trace.set_sink
-    (Some (fun ~time ~tag msg -> lines := (time, tag, msg) :: !lines));
+    (Some
+       (fun ev ->
+         lines := (ev.Sim.Trace.time, ev.Sim.Trace.tag, ev.Sim.Trace.name) :: !lines));
   check_bool "enabled" true (Sim.Trace.enabled ());
   Sim.Trace.emit ~time:(Sim.Time.us 3) ~tag:"test" (fun () -> "hello");
   Sim.Trace.set_sink None;
@@ -26,7 +28,7 @@ let test_trace_sink () =
 let test_trace_in_datapath () =
   (* A quick CDNA run with tracing on produces datapath records. *)
   let count = ref 0 in
-  Sim.Trace.set_sink (Some (fun ~time:_ ~tag:_ _ -> incr count));
+  Sim.Trace.set_sink (Some (fun _ev -> incr count));
   let cfg =
     {
       Experiments.Config.default with

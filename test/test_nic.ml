@@ -149,6 +149,38 @@ let test_coalesce_immediate_when_idle () =
   ignore (Sim.Engine.run_to_completion engine);
   check_int "immediate" (Sim.Time.us 500) !fired_at
 
+let test_coalesce_accounting_invariant () =
+  (* Regression: requests = fired + suppressed must hold at every instant,
+     including while a merged firing is pending.  The old code only
+     counted [fired] at delivery time, so a request that armed the timer
+     was momentarily neither fired nor suppressed. *)
+  let engine = Sim.Engine.create () in
+  let c =
+    Nic.Coalesce.create engine ~min_gap:(Sim.Time.us 100) ~fire:(fun () -> ())
+  in
+  let check_invariant label =
+    check_int label (Nic.Coalesce.requests c)
+      (Nic.Coalesce.fired c + Nic.Coalesce.suppressed c)
+  in
+  ignore
+    (Sim.Engine.schedule engine ~delay:0 (fun () ->
+         Nic.Coalesce.request c;
+         check_invariant "after immediate fire"));
+  (* 30us after the fire: inside the gap, so this arms a deferred firing. *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 30) (fun () ->
+         Nic.Coalesce.request c;
+         check_invariant "while pending"));
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 50) (fun () ->
+         Nic.Coalesce.request c;
+         check_invariant "merged into pending"));
+  ignore (Sim.Engine.run_to_completion engine);
+  check_invariant "after drain";
+  check_int "requests" 3 (Nic.Coalesce.requests c);
+  check_int "fired" 2 (Nic.Coalesce.fired c);
+  check_int "suppressed" 1 (Nic.Coalesce.suppressed c)
+
 (* ---------- Dp (datapath) ---------- *)
 
 type dp_fixture = {
@@ -998,6 +1030,8 @@ let suite =
       [
         Alcotest.test_case "caps rate" `Quick test_coalesce_caps_rate;
         Alcotest.test_case "immediate when idle" `Quick test_coalesce_immediate_when_idle;
+        Alcotest.test_case "accounting invariant" `Quick
+          test_coalesce_accounting_invariant;
       ] );
     ( "nic.dp",
       [

@@ -271,6 +271,158 @@ let prop_histogram_percentile_monotone =
       let p99 = Sim.Stats.Histogram.percentile h 99. in
       p25 <= p50 && p50 <= p99)
 
+(* Regression: p=0 must be exactly the smallest recorded value, not the
+   lower edge of bucket 0.  With a single sample of 100, the old scan
+   started at bucket 0 and returned 0. *)
+let test_histogram_p0_is_min () =
+  let h = Sim.Stats.Histogram.create () in
+  Sim.Stats.Histogram.add h 100;
+  check_int "p0 = min" 100 (Sim.Stats.Histogram.percentile h 0.);
+  check_int "negative p clamps to min" 100 (Sim.Stats.Histogram.percentile h (-5.));
+  Sim.Stats.Histogram.add h 7;
+  Sim.Stats.Histogram.add h 5000;
+  check_int "p0 tracks new min" 7 (Sim.Stats.Histogram.percentile h 0.);
+  check_bool "p0 <= p50" true
+    (Sim.Stats.Histogram.percentile h 0. <= Sim.Stats.Histogram.percentile h 50.)
+
+(* ---------- Json ---------- *)
+
+let test_json_print () =
+  let j =
+    Sim.Json.Obj
+      [
+        ("a", Sim.Json.Int 1);
+        ("b", Sim.Json.List [ Sim.Json.Bool true; Sim.Json.Null ]);
+        ("c", Sim.Json.String "x\"y\n");
+        ("d", Sim.Json.Float 1.5);
+      ]
+  in
+  check Alcotest.string "compact"
+    {|{"a":1,"b":[true,null],"c":"x\"y\n","d":1.5}|}
+    (Sim.Json.to_string j)
+
+let test_json_roundtrip () =
+  let j =
+    Sim.Json.Obj
+      [
+        ("n", Sim.Json.Int (-42));
+        ("f", Sim.Json.Float 3.25);
+        ("s", Sim.Json.String "hello \\ world");
+        ("l", Sim.Json.List [ Sim.Json.Int 0; Sim.Json.Obj [] ]);
+      ]
+  in
+  let text = Sim.Json.to_string j in
+  match Sim.Json.parse text with
+  | Ok j' -> check Alcotest.string "reprint equal" text (Sim.Json.to_string j')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Sim.Json.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    bad
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_get_or_create () =
+  let m = Sim.Metrics.create () in
+  let c1 = Sim.Metrics.counter m "hits" ~labels:[ ("x", "1"); ("a", "2") ] in
+  (* Same name, same labels in a different order: same underlying counter. *)
+  let c2 = Sim.Metrics.counter m "hits" ~labels:[ ("a", "2"); ("x", "1") ] in
+  Sim.Stats.Counter.incr c1;
+  Sim.Stats.Counter.incr c2;
+  check_int "shared" 2 (Sim.Stats.Counter.value c1);
+  check_int "one series" 1 (Sim.Metrics.size m)
+
+let test_metrics_kind_mismatch () =
+  let m = Sim.Metrics.create () in
+  ignore (Sim.Metrics.counter m "thing" ~labels:[]);
+  match Sim.Metrics.meter m "thing" ~labels:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on kind mismatch"
+
+let test_metrics_json_sorted_deterministic () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.gauge m "z.last" ~labels:[] (fun () -> 3);
+  Sim.Metrics.gauge m "a.first" ~labels:[ ("dom", "1") ] (fun () -> 1);
+  Sim.Metrics.gauge_f m "m.mid" ~labels:[] (fun () -> 2.5);
+  let s1 = Sim.Json.to_string (Sim.Metrics.to_json m) in
+  let s2 = Sim.Json.to_string (Sim.Metrics.to_json m) in
+  check Alcotest.string "stable" s1 s2;
+  check Alcotest.string "sorted keys"
+    {|{"a.first{dom=1}":1,"m.mid":2.5,"z.last":3}|} s1
+
+let test_metrics_histogram_export () =
+  let m = Sim.Metrics.create () in
+  let h = Sim.Metrics.histogram m "lat" ~labels:[] in
+  List.iter (Sim.Stats.Histogram.add h) [ 10; 20; 30 ];
+  match Sim.Json.parse (Sim.Json.to_string (Sim.Metrics.to_json m)) with
+  | Ok j -> (
+      match Sim.Json.member "lat" j with
+      | Some lat ->
+          check_bool "has count=3" true
+            (Sim.Json.member "count" lat = Some (Sim.Json.Int 3))
+      | None -> Alcotest.fail "lat series missing")
+  | Error e -> Alcotest.failf "metrics JSON unparseable: %s" e
+
+(* ---------- Trace recorder / Chrome export ---------- *)
+
+(* Golden test: a tiny hand-built recording must serialize to exactly this
+   Chrome trace_event JSON, byte for byte. *)
+let test_recorder_chrome_golden () =
+  let r = Sim.Trace.Recorder.create () in
+  Sim.Trace.set_sink (Some (Sim.Trace.Recorder.sink r));
+  Sim.Trace.set_filter None;
+  Sim.Trace.Recorder.set_process_name r ~pid:0 "hypervisor";
+  Sim.Trace.instant ~time:(Sim.Time.us 1) ~tag:"hypercall" ~pid:1
+    ~args:[ ("cost_ns", Sim.Trace.Int 700) ]
+    "grant_map";
+  Sim.Trace.complete ~time:(Sim.Time.us 2) ~dur:(Sim.Time.us 3) ~tag:"sched"
+    ~pid:2 ~tid:4 "guest0";
+  Sim.Trace.set_sink None;
+  let expected =
+    {|{"traceEvents":[{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"hypervisor"}},{"name":"grant_map","cat":"hypercall","ph":"i","ts":1,"s":"t","pid":1,"tid":0,"args":{"cost_ns":700}},{"name":"guest0","cat":"sched","ph":"X","ts":2,"dur":3,"pid":2,"tid":4}],"displayTimeUnit":"ms"}|}
+  in
+  check Alcotest.string "golden chrome json" expected
+    (Sim.Trace.Recorder.to_chrome_string r)
+
+let test_recorder_filter_and_spans () =
+  let r = Sim.Trace.Recorder.create () in
+  Sim.Trace.set_sink (Some (Sim.Trace.Recorder.sink r));
+  Sim.Trace.set_filter (Some (fun tag -> tag = "dma"));
+  Sim.Trace.span_begin ~time:0 ~tag:"dma" "xfer";
+  Sim.Trace.span_end ~time:(Sim.Time.us 5) ~tag:"dma" "xfer";
+  Sim.Trace.instant ~time:0 ~tag:"sched" "dropped-by-filter";
+  Sim.Trace.set_filter None;
+  Sim.Trace.set_sink None;
+  check_int "only dma events" 2 (Sim.Trace.Recorder.count r);
+  match Sim.Json.parse (Sim.Trace.Recorder.to_chrome_string r) with
+  | Error e -> Alcotest.failf "chrome json unparseable: %s" e
+  | Ok j -> (
+      match Sim.Json.member "traceEvents" j with
+      | Some (Sim.Json.List evs) -> check_int "B and E" 2 (List.length evs)
+      | _ -> Alcotest.fail "traceEvents missing")
+
+let test_recorder_file_roundtrip () =
+  let r = Sim.Trace.Recorder.create () in
+  Sim.Trace.set_sink (Some (Sim.Trace.Recorder.sink r));
+  Sim.Trace.instant ~time:0 ~tag:"irq" "virq";
+  Sim.Trace.set_sink None;
+  let path = Filename.temp_file "cdna_trace" ".json" in
+  let oc = open_out path in
+  output_string oc (Sim.Trace.Recorder.to_chrome_string r);
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Sim.Json.parse text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "written trace file unparseable: %s" e
+
 (* ---------- Fault_inject ---------- *)
 
 module FI = Sim.Fault_inject
@@ -414,7 +566,28 @@ let suite =
         Alcotest.test_case "meter" `Quick test_meter;
         Alcotest.test_case "time-weighted avg" `Quick test_tw_avg;
         Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "histogram p0 is min" `Quick test_histogram_p0_is_min;
         qcheck prop_histogram_percentile_monotone;
+      ] );
+    ( "sim.json",
+      [
+        Alcotest.test_case "print" `Quick test_json_print;
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+      ] );
+    ( "sim.metrics",
+      [
+        Alcotest.test_case "get-or-create" `Quick test_metrics_get_or_create;
+        Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+        Alcotest.test_case "json sorted deterministic" `Quick
+          test_metrics_json_sorted_deterministic;
+        Alcotest.test_case "histogram export" `Quick test_metrics_histogram_export;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "chrome golden" `Quick test_recorder_chrome_golden;
+        Alcotest.test_case "filter and spans" `Quick test_recorder_filter_and_spans;
+        Alcotest.test_case "file roundtrip" `Quick test_recorder_file_roundtrip;
       ] );
     ( "sim.fault_inject",
       [
