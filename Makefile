@@ -1,0 +1,23 @@
+.PHONY: all build test bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full Bechamel run: paper-table regeneration benchmarks + micro set.
+bench:
+	dune exec bench/main.exe
+
+# Machine-readable micro results (ns/run + minor words/run), checked
+# against the committed regression baseline. Refresh the baseline after
+# an intentional performance change with:
+#   dune exec bench/main.exe -- --json bench/baseline.json --quota 0.5
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_micro.json --gate bench/baseline.json
+
+clean:
+	dune clean

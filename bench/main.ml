@@ -18,101 +18,93 @@
 open Bechamel
 open Toolkit
 
-(* ---------- Micro-benchmark subjects ---------- *)
+(* ---------- Micro-benchmark subjects ----------
 
-let test_engine_events =
-  Test.make ~name:"micro/engine-10k-events"
-    (Staged.stage (fun () ->
-         let e = Sim.Engine.create () in
-         for i = 1 to 10_000 do
-           ignore (Sim.Engine.schedule e ~delay:i (fun () -> ()))
-         done;
-         ignore (Sim.Engine.run_to_completion e)))
+   Plain named closures, so the same subject feeds both the bechamel
+   timing run and the direct [Gc.minor_words] measurement of the --json
+   mode. *)
 
-let test_heap_churn =
-  Test.make ~name:"micro/heap-push-pop-1k"
-    (Staged.stage (fun () ->
-         let h = Sim.Heap.create ~compare:Int.compare in
-         for i = 0 to 999 do
-           Sim.Heap.push h ((i * 7919) land 1023)
-         done;
-         while not (Sim.Heap.is_empty h) do
-           ignore (Sim.Heap.pop h)
-         done))
+let engine_events_fn () =
+  let e = Sim.Engine.create () in
+  for i = 1 to 10_000 do
+    ignore (Sim.Engine.schedule e ~delay:i (fun () -> ()))
+  done;
+  ignore (Sim.Engine.run_to_completion e)
 
-let test_crc32 =
+let heap_churn_fn () =
+  let h = Sim.Heap.create ~dummy:0 in
+  for i = 0 to 999 do
+    let v = (i * 7919) land 1023 in
+    Sim.Heap.push h ~key:v v
+  done;
+  while not (Sim.Heap.is_empty h) do
+    ignore (Sim.Heap.pop h)
+  done
+
+let crc32_fn =
   let payload = Ethernet.Frame.materialize_payload ~seed:1 ~len:1500 in
-  Test.make ~name:"micro/crc32-1500B"
-    (Staged.stage (fun () -> ignore (Ethernet.Crc32.digest payload)))
+  fun () -> ignore (Ethernet.Crc32.digest payload)
 
-let test_materialize =
-  Test.make ~name:"micro/materialize-1500B"
-    (Staged.stage (fun () ->
-         ignore (Ethernet.Frame.materialize_payload ~seed:7 ~len:1500)))
+let materialize_fn () =
+  ignore (Ethernet.Frame.materialize_payload ~seed:7 ~len:1500)
 
-let test_descriptor_roundtrip =
+let descriptor_roundtrip_fn =
   let mem = Memory.Phys_mem.create ~total_pages:4 () in
   let d = { Memory.Dma_desc.addr = 0x1000; len = 1500; flags = 1; seqno = 42 } in
-  Test.make ~name:"micro/descriptor-write-read"
-    (Staged.stage (fun () ->
-         Memory.Dma_desc.write mem ~at:64 d;
-         ignore (Memory.Dma_desc.read mem ~at:64)))
+  fun () ->
+    Memory.Dma_desc.write mem ~at:64 d;
+    ignore (Memory.Dma_desc.read mem ~at:64)
 
-let test_mailbox_decode =
+let mailbox_decode_fn =
   let mb = Nic.Mailbox.create ~contexts:32 ~on_event:ignore in
   let mappings =
     Array.init 32 (fun ctx -> Bus.Mmio.map (Nic.Mailbox.region mb ~ctx))
   in
-  Test.make ~name:"micro/mailbox-write-decode-32ctx"
-    (Staged.stage (fun () ->
-         for ctx = 0 to 31 do
-           Bus.Mmio.write32 mappings.(ctx) ~offset:20 ctx
-         done;
-         let rec drain () =
-           match Nic.Mailbox.next_event mb with
-           | Some (ctx, mbox) ->
-               Nic.Mailbox.clear_event mb ~ctx ~mbox;
-               drain ()
-           | None -> ()
-         in
-         drain ()))
+  fun () ->
+    for ctx = 0 to 31 do
+      Bus.Mmio.write32 mappings.(ctx) ~offset:20 ctx
+    done;
+    let rec drain () =
+      match Nic.Mailbox.next_event mb with
+      | Some (ctx, mbox) ->
+          Nic.Mailbox.clear_event mb ~ctx ~mbox;
+          drain ()
+      | None -> ()
+    in
+    drain ()
 
-let test_seqno_check =
-  Test.make ~name:"micro/seqno-check-1k"
-    (Staged.stage (fun () ->
-         let seq = ref 0 in
-         for _ = 1 to 1000 do
-           assert (Cdna.Seqno.continuous ~expected:!seq ~got:!seq);
-           seq := Cdna.Seqno.next !seq
-         done))
+let seqno_check_fn () =
+  let seq = ref 0 in
+  for _ = 1 to 1000 do
+    assert (Cdna.Seqno.continuous ~expected:!seq ~got:!seq);
+    seq := Cdna.Seqno.next !seq
+  done
 
-let test_grant_flip =
-  Test.make ~name:"micro/grant-flip"
-    (Staged.stage
-       (let engine = Sim.Engine.create () in
-        let profile = Host.Profile.create () in
-        let cpu = Host.Cpu.create engine ~profile () in
-        let mem = Memory.Phys_mem.create ~total_pages:64 () in
-        let hyp = Xen.Hypervisor.create engine ~cpu ~mem () in
-        let a =
-          Xen.Hypervisor.create_domain hyp ~name:"a" ~kind:Xen.Domain.Guest
-            ~weight:256 ~mem_pages:8
-        in
-        let b =
-          Xen.Hypervisor.create_domain hyp ~name:"b" ~kind:Xen.Domain.Guest
-            ~weight:256 ~mem_pages:8
-        in
-        let page = List.hd (Xen.Domain.pages a) in
-        let here = ref a and there = ref b in
-        fun () ->
-          (match Xen.Grant_table.flip hyp ~src:!here ~dst:!there page with
-          | Ok () -> ()
-          | Error _ -> assert false);
-          let t = !here in
-          here := !there;
-          there := t))
+let grant_flip_fn =
+  let engine = Sim.Engine.create () in
+  let profile = Host.Profile.create () in
+  let cpu = Host.Cpu.create engine ~profile () in
+  let mem = Memory.Phys_mem.create ~total_pages:64 () in
+  let hyp = Xen.Hypervisor.create engine ~cpu ~mem () in
+  let a =
+    Xen.Hypervisor.create_domain hyp ~name:"a" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:8
+  in
+  let b =
+    Xen.Hypervisor.create_domain hyp ~name:"b" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:8
+  in
+  let page = List.hd (Xen.Domain.pages a) in
+  let here = ref a and there = ref b in
+  fun () ->
+    (match Xen.Grant_table.flip hyp ~src:!here ~dst:!there page with
+    | Ok () -> ()
+    | Error _ -> assert false);
+    let t = !here in
+    here := !there;
+    there := t
 
-let test_bridge_route =
+let bridge_route_fn =
   let b = Guestos.Bridge.create () in
   let ports = Array.init 26 (fun i -> Guestos.Bridge.add_port b i) in
   Array.iteri
@@ -123,9 +115,20 @@ let test_bridge_route =
       ~dst:(Ethernet.Mac_addr.make 13) ~kind:Ethernet.Frame.Data ~flow:0 ~seq:0
       ~payload_len:1500 ~payload_seed:0 ()
   in
-  Test.make ~name:"micro/bridge-route-26-ports"
-    (Staged.stage (fun () ->
-         ignore (Guestos.Bridge.route b ~ingress:ports.(0) frame)))
+  fun () -> ignore (Guestos.Bridge.route b ~ingress:ports.(0) frame)
+
+let micro_subjects =
+  [
+    ("micro/engine-10k-events", engine_events_fn);
+    ("micro/heap-push-pop-1k", heap_churn_fn);
+    ("micro/crc32-1500B", crc32_fn);
+    ("micro/materialize-1500B", materialize_fn);
+    ("micro/descriptor-write-read", descriptor_roundtrip_fn);
+    ("micro/mailbox-write-decode-32ctx", mailbox_decode_fn);
+    ("micro/seqno-check-1k", seqno_check_fn);
+    ("micro/grant-flip", grant_flip_fn);
+    ("micro/bridge-route-26-ports", bridge_route_fn);
+  ]
 
 (* ---------- Macro subjects: one per table / figure ---------- *)
 
@@ -240,21 +243,13 @@ let macro_tests =
   ]
 
 let micro_tests =
-  [
-    test_engine_events;
-    test_heap_churn;
-    test_crc32;
-    test_materialize;
-    test_descriptor_roundtrip;
-    test_mailbox_decode;
-    test_seqno_check;
-    test_grant_flip;
-    test_bridge_route;
-  ]
+  List.map
+    (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+    micro_subjects
 
 (* ---------- Bechamel driver ---------- *)
 
-let run_bechamel ~quota_s tests =
+let estimate_ns ~quota_s tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
@@ -270,17 +265,18 @@ let run_bechamel ~quota_s tests =
       Hashtbl.iter (Hashtbl.add raw) (Benchmark.all cfg instances test))
     (List.map (fun t -> Test.make_grouped ~name:"" ~fmt:"%s%s" [ t ]) tests);
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols_result acc ->
-        let ns =
-          match Analyze.OLS.estimates ols_result with
-          | Some (v :: _) -> v
-          | _ -> Float.nan
-        in
-        (name, ns) :: acc)
-      results []
-  in
+  Hashtbl.fold
+    (fun name ols_result acc ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (v :: _) -> v
+        | _ -> Float.nan
+      in
+      (name, ns) :: acc)
+    results []
+
+let run_bechamel ~quota_s tests =
+  let rows = estimate_ns ~quota_s tests in
   List.iter
     (fun (name, ns) ->
       if Float.is_nan ns then Printf.printf "  %-42s (no estimate)\n" name
@@ -338,7 +334,123 @@ let smoke () =
   | Ok _ -> failwith "smoke: metrics JSON is empty or not an object");
   exit 0
 
+(* ---------- --json: machine-readable micro results + regression gate ----------
+
+   [--json FILE] measures every micro subject (bechamel ns/run plus a
+   direct [Gc.minor_words] delta per run) and writes them as JSON, then
+   re-reads the file through our own parser so a malformed export fails
+   loudly. [--gate BASELINE] additionally compares against the committed
+   baseline and exits non-zero if any subject regressed more than 2x —
+   the CI benchmark regression gate (see bench/dune). *)
+
+let arg_value flag =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let minor_words_per_run fn =
+  fn ();
+  (* warm: lazy tables, buffer growth *)
+  let n = 20 in
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    fn ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int n
+
+let gate_factor = 2.0
+
+let json_mode ~out ~gate ~quota_s =
+  let rows = estimate_ns ~quota_s micro_tests in
+  let entries =
+    List.map
+      (fun (name, fn) ->
+        let ns =
+          match List.assoc_opt name rows with
+          | Some ns when not (Float.is_nan ns) -> ns
+          | Some _ | None -> 0.
+        in
+        let words = minor_words_per_run fn in
+        ( name,
+          Sim.Json.Obj
+            [
+              ("ns_per_run", Sim.Json.Float ns);
+              ("minor_words_per_run", Sim.Json.Float words);
+            ] ))
+      micro_subjects
+  in
+  let oc = open_out out in
+  output_string oc (Sim.Json.to_string (Sim.Json.Obj entries));
+  output_char oc '\n';
+  close_out oc;
+  let reread =
+    let ic = open_in out in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let parsed =
+    match Sim.Json.parse reread with
+    | Error e -> failwith ("bench --json: emitted invalid JSON: " ^ e)
+    | Ok v -> v
+  in
+  Printf.printf "bench json: wrote %s (%d subjects)\n" out (List.length entries);
+  (match gate with
+  | None -> ()
+  | Some baseline_path ->
+      let baseline =
+        let ic = open_in baseline_path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        match Sim.Json.parse s with
+        | Error e -> failwith ("bench --gate: bad baseline JSON: " ^ e)
+        | Ok v -> v
+      in
+      let number = function
+        | Some (Sim.Json.Float f) -> Some f
+        | Some (Sim.Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let ns_of doc name =
+        Option.bind (Sim.Json.member name doc) (fun e ->
+            number (Sim.Json.member "ns_per_run" e))
+      in
+      let regressions =
+        List.filter_map
+          (fun (name, _) ->
+            match (ns_of baseline name, ns_of parsed name) with
+            | Some base, Some now when base > 0. && now > gate_factor *. base ->
+                Some (name, base, now)
+            | _ -> None)
+          micro_subjects
+      in
+      List.iter
+        (fun (name, base, now) ->
+          Printf.printf
+            "bench gate: REGRESSION %s: %.0f ns/run vs baseline %.0f (>%.1fx)\n"
+            name now base gate_factor)
+        regressions;
+      if regressions = [] then
+        Printf.printf "bench gate: all %d subjects within %.1fx of %s\n"
+          (List.length entries) gate_factor baseline_path
+      else exit 1);
+  exit 0
+
 let () =
+  (match arg_value "--json" with
+  | Some out ->
+      let quota_s =
+        match arg_value "--quota" with
+        | Some s -> float_of_string s
+        | None -> 0.25
+      in
+      json_mode ~out ~gate:(arg_value "--gate") ~quota_s
+  | None -> ());
   if Array.exists (( = ) "--smoke") Sys.argv then smoke ();
   let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
   if not bench_only then begin

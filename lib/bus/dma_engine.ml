@@ -44,9 +44,9 @@ let injected t ~context ~addr ~len =
       if hit then t.injected_faults <- t.injected_faults + 1;
       hit
 
-let in_range t ~addr ~len =
-  len >= 0 && addr >= 0
-  && addr + len <= Memory.Phys_mem.total_pages t.mem * Memory.Addr.page_size
+(* One bounds predicate for the whole bus, shared with Phys_mem so the
+   admission check cannot drift from the memory's own validation. *)
+let in_range t ~addr ~len = Memory.Phys_mem.valid_range t.mem ~addr ~len
 
 let iommu_check t ~context ~addr ~len =
   match t.iommu with
@@ -96,6 +96,20 @@ let read t ~context ~addr ~len k =
           submit t ~op:"read" ~context ~len (fun () ->
               k (Ok (Memory.Phys_mem.read t.mem ~addr ~len)))
 
+let read_into t ~context ~addr ~len ~dst ~pos k =
+  if not (in_range t ~addr ~len) then k (Error `Bad_range)
+  else if pos < 0 || len > Bytes.length dst - pos then k (Error `Bad_range)
+  else
+    match iommu_check t ~context ~addr ~len with
+    | Error e -> k (Error (e :> fault))
+    | Ok () ->
+        if injected t ~context ~addr ~len then
+          submit t ~op:"read" ~context ~len (fun () -> k (Error `Injected))
+        else
+          submit t ~op:"read" ~context ~len (fun () ->
+              Memory.Phys_mem.read_into t.mem ~addr ~len dst ~pos;
+              k (Ok ()))
+
 let write t ~context ~addr ~data k =
   let len = Bytes.length data in
   if not (in_range t ~addr ~len) then k (Error `Bad_range)
@@ -108,6 +122,20 @@ let write t ~context ~addr ~data k =
         else
           submit t ~op:"write" ~context ~len (fun () ->
               Memory.Phys_mem.write t.mem ~addr data;
+              k (Ok ()))
+
+let write_from t ~context ~addr ~src ~pos ~len k =
+  if not (in_range t ~addr ~len) then k (Error `Bad_range)
+  else if pos < 0 || len > Bytes.length src - pos then k (Error `Bad_range)
+  else
+    match iommu_check t ~context ~addr ~len with
+    | Error e -> k (Error (e :> fault))
+    | Ok () ->
+        if injected t ~context ~addr ~len then
+          submit t ~op:"write" ~context ~len (fun () -> k (Error `Injected))
+        else
+          submit t ~op:"write" ~context ~len (fun () ->
+              Memory.Phys_mem.write_sub t.mem ~addr src ~pos ~len;
               k (Ok ()))
 
 let access t ~context ~addr ~len k =

@@ -52,12 +52,43 @@ val read :
   ((Bytes.t, fault) result -> unit) ->
   unit
 
+(** [read_into t ~context ~addr ~len ~dst ~pos k] is the zero-copy
+    variant of {!read}: at completion time the bytes are blitted into the
+    caller-supplied [dst] at [pos] and [k (Ok ())] runs. The caller must
+    not reuse [dst[pos, pos+len)] until [k] has fired (see DESIGN.md §8
+    for the scratch-buffer ownership rules). A bad [dst] range completes
+    with [`Bad_range] like a bad physical range. *)
+val read_into :
+  t ->
+  context:int ->
+  addr:Memory.Addr.t ->
+  len:int ->
+  dst:Bytes.t ->
+  pos:int ->
+  ((unit, fault) result -> unit) ->
+  unit
+
 (** [write t ~context ~addr ~data k] DMA-writes host memory (device -> host). *)
 val write :
   t ->
   context:int ->
   addr:Memory.Addr.t ->
   data:Bytes.t ->
+  ((unit, fault) result -> unit) ->
+  unit
+
+(** [write_from t ~context ~addr ~src ~pos ~len k] is the zero-copy
+    variant of {!write}: the bytes [src[pos, pos+len)] land in host
+    memory at completion time. The engine holds a view of [src] until
+    then — the caller must not mutate that range before [k] fires
+    (DESIGN.md §8). *)
+val write_from :
+  t ->
+  context:int ->
+  addr:Memory.Addr.t ->
+  src:Bytes.t ->
+  pos:int ->
+  len:int ->
   ((unit, fault) result -> unit) ->
   unit
 

@@ -13,6 +13,9 @@ type t = {
   mutable tx_cons_seen : int;
   mutable rx_prod : int;
   pending : Ethernet.Frame.t Queue.t;
+  (* Reused staging buffer for generating spec-only payloads into DMA
+     pages; [Phys_mem.write_sub] copies synchronously. *)
+  mutable scratch : Bytes.t;
   mutable tx_enqueue_busy : bool;
   mutable rx_enqueue_busy : bool;
   mutable rx_repost_backlog : int;
@@ -71,16 +74,16 @@ let rec pump_tx t =
             let idx = t.tx_prod + i in
             let len = frame.Ethernet.Frame.payload_len in
             if t.materialize then begin
-              let data =
-                match frame.Ethernet.Frame.data with
-                | Some d -> d
-                | None ->
-                    Ethernet.Frame.materialize_payload
-                      ~seed:frame.Ethernet.Frame.payload_seed ~len
-              in
-              Memory.Phys_mem.write t.mem
-                ~addr:(page_addr t.tx_pages.(idx land (t.tx_slots - 1)))
-                data
+              let addr = page_addr t.tx_pages.(idx land (t.tx_slots - 1)) in
+              match frame.Ethernet.Frame.data with
+              | Some d -> Memory.Phys_mem.write t.mem ~addr d
+              | None ->
+                  if Bytes.length t.scratch < len then
+                    t.scratch <- Bytes.create (max len 2048);
+                  Ethernet.Frame.blit_payload
+                    ~seed:frame.Ethernet.Frame.payload_seed ~len t.scratch
+                    ~pos:0;
+                  Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
             end;
             descriptor_for ~pages:t.tx_pages ~slots:t.tx_slots ~idx ~len
               ~flags:Memory.Dma_desc.flag_end_of_packet)
@@ -250,6 +253,7 @@ let rec create ~hyp ~handle ~costs ?(tx_slots = 256) ?(rx_slots = 256)
       tx_cons_seen = 0;
       rx_prod = 0;
       pending = Queue.create ();
+      scratch = Bytes.empty;
       tx_enqueue_busy = false;
       rx_enqueue_busy = false;
       rx_repost_backlog = 0;

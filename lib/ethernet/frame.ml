@@ -21,16 +21,35 @@ let make ~src ~dst ~kind ~flow ~seq ?(segments = 1) ~payload_len ~payload_seed
     invalid_arg "Frame.make: payload length out of range";
   { src; dst; kind; flow; seq; segments; payload_len; payload_seed; data = None }
 
-let materialize_payload ~seed ~len =
-  let b = Bytes.create len in
-  (* xorshift-style byte stream; cheap and deterministic. *)
+(* xorshift-style byte stream; cheap and deterministic. All payload
+   accessors below walk this one recurrence so the materialized, folded
+   and blitted views of a spec are bytewise identical. *)
+let[@inline] next_state s =
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  s lxor (s lsl 17)
+
+let fold_payload ~seed ~len f init =
+  let state = ref (seed lor 1) in
+  let acc = ref init in
+  for _ = 1 to len do
+    state := next_state !state;
+    acc := f !acc (!state land 0xff)
+  done;
+  !acc
+
+let blit_payload ~seed ~len dst ~pos =
+  if pos < 0 || len < 0 || len > Bytes.length dst - pos then
+    invalid_arg "Frame.blit_payload: bad bounds";
   let state = ref (seed lor 1) in
   for i = 0 to len - 1 do
-    state := !state lxor (!state lsl 13);
-    state := !state lxor (!state lsr 7);
-    state := !state lxor (!state lsl 17);
-    Bytes.set b i (Char.chr (!state land 0xff))
-  done;
+    state := next_state !state;
+    Bytes.unsafe_set dst (pos + i) (Char.unsafe_chr (!state land 0xff))
+  done
+
+let materialize_payload ~seed ~len =
+  let b = Bytes.create len in
+  blit_payload ~seed ~len b ~pos:0;
   b
 
 let with_data t =
@@ -40,10 +59,24 @@ let data_valid t =
   match t.data with
   | None -> true
   | Some d ->
-      Bytes.equal d (materialize_payload ~seed:t.payload_seed ~len:t.payload_len)
+      Bytes.length d = t.payload_len
+      && begin
+           (* Compare against the spec stream in place: no 1500 B scratch
+              per verified packet. *)
+           let state = ref (t.payload_seed lor 1) in
+           let ok = ref true in
+           let i = ref 0 in
+           while !ok && !i < t.payload_len do
+             state := next_state !state;
+             if Char.code (Bytes.unsafe_get d !i) <> !state land 0xff then
+               ok := false;
+             incr i
+           done;
+           !ok
+         end
 
 let payload_crc t =
-  Crc32.digest (materialize_payload ~seed:t.payload_seed ~len:t.payload_len)
+  Crc32.digest_stream (fold_payload ~seed:t.payload_seed ~len:t.payload_len)
 
 let overhead_bytes = 18
 let min_payload = 46

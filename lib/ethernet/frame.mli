@@ -55,6 +55,15 @@ val make :
 (** Deterministic payload bytes for a spec. *)
 val materialize_payload : seed:int -> len:int -> Bytes.t
 
+(** [fold_payload ~seed ~len f init] folds [f] over the spec's byte stream
+    without materializing it — same bytes as {!materialize_payload}. *)
+val fold_payload : seed:int -> len:int -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** [blit_payload ~seed ~len dst ~pos] writes the spec's bytes into a
+    caller-owned buffer (the non-allocating datapath variant of
+    {!materialize_payload}). @raise Invalid_argument on bad bounds. *)
+val blit_payload : seed:int -> len:int -> Bytes.t -> pos:int -> unit
+
 (** [with_data f] attaches the materialized payload. *)
 val with_data : t -> t
 

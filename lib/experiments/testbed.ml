@@ -465,6 +465,7 @@ let build (cfg : Config.t) =
   in
   (* Registered after assembly so every scheduler entity and domain
      exists; NIC and netfront gauges were registered as they were built. *)
+  Sim.Engine.register_metrics engine metrics;
   Host.Cpu.register_metrics cpu metrics;
   Bus.Dma_engine.register_metrics dma metrics;
   Xen.Hypervisor.register_metrics xen metrics;

@@ -20,6 +20,9 @@ type t = {
   mutable tx_cons_seen : int;
   mutable rx_prod : int;
   pending : Ethernet.Frame.t Queue.t;
+  (* Reused staging buffer for generating spec-only payloads into DMA
+     pages; [Phys_mem.write_sub] copies synchronously. *)
+  mutable scratch : Bytes.t;
   mutable was_full : bool;
   mutable poll_scheduled : bool;
   mutable netdev : Netdev.t option;
@@ -53,14 +56,15 @@ let write_tx_descriptor t frame =
   let pfn = t.tx_pages.(t.tx_prod land (t.tx_slots - 1)) in
   let len = frame.Ethernet.Frame.payload_len in
   if t.materialize then begin
-    let data =
-      match frame.Ethernet.Frame.data with
-      | Some d -> d
-      | None ->
-          Ethernet.Frame.materialize_payload
-            ~seed:frame.Ethernet.Frame.payload_seed ~len
-    in
-    Memory.Phys_mem.write t.mem ~addr:(page_addr pfn) data
+    let addr = page_addr pfn in
+    match frame.Ethernet.Frame.data with
+    | Some d -> Memory.Phys_mem.write t.mem ~addr d
+    | None ->
+        if Bytes.length t.scratch < len then
+          t.scratch <- Bytes.create (max len 2048);
+        Ethernet.Frame.blit_payload ~seed:frame.Ethernet.Frame.payload_seed
+          ~len t.scratch ~pos:0;
+        Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
   end;
   let evil =
     match t.malice with
@@ -237,6 +241,7 @@ let create ~mem ~post_kernel ~costs ~hw ~mac ~alloc_pages ?(tx_slots = 256)
       tx_cons_seen = 0;
       rx_prod = 0;
       pending = Queue.create ();
+      scratch = Bytes.empty;
       was_full = false;
       poll_scheduled = false;
       netdev = None;

@@ -43,6 +43,9 @@ type t = {
   mutable ifaces : (iface * port_target Bridge.port) list;
   mutable phys : (Netdev.t * port_target Bridge.port) list;
   pool : Memory.Addr.pfn Queue.t;
+  (* Reused staging buffer for generating spec-only payloads into
+     exchange pages; [Phys_mem.write_sub] copies synchronously. *)
+  mutable scratch : Bytes.t;
   rx_inbox : (port_target Bridge.port * Ethernet.Frame.t) Queue.t;
   mutable scheduled : bool;
   mutable tx_forwarded : int;
@@ -67,6 +70,7 @@ let create ~hyp ~dom ~costs ?(pool_pages = 4096) ?(materialize = false) () =
     ifaces = [];
     phys = [];
     pool;
+    scratch = Bytes.empty;
     rx_inbox = Queue.create ();
     scheduled = false;
     tx_forwarded = 0;
@@ -338,17 +342,17 @@ and apply t c =
           Queue.push frame iface.overflow
       | Some pfn -> (
           if t.materialize then begin
-            let data =
-              match frame.Ethernet.Frame.data with
-              | Some d -> d
-              | None ->
-                  Ethernet.Frame.materialize_payload
-                    ~seed:frame.Ethernet.Frame.payload_seed
-                    ~len:frame.Ethernet.Frame.payload_len
-            in
-            Memory.Phys_mem.write t.mem
-              ~addr:(Memory.Addr.base_of_pfn pfn)
-              data
+            let addr = Memory.Addr.base_of_pfn pfn in
+            match frame.Ethernet.Frame.data with
+            | Some d -> Memory.Phys_mem.write t.mem ~addr d
+            | None ->
+                let len = frame.Ethernet.Frame.payload_len in
+                if Bytes.length t.scratch < len then
+                  t.scratch <- Bytes.create (max len 2048);
+                Ethernet.Frame.blit_payload
+                  ~seed:frame.Ethernet.Frame.payload_seed ~len t.scratch
+                  ~pos:0;
+                Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
           end;
           match
             Xen.Grant_table.flip t.hyp ~src:t.dom ~dst:iface.guest_dom pfn

@@ -8,6 +8,9 @@ type t = {
   mem : Memory.Phys_mem.t;
   pool : Memory.Addr.pfn Queue.t;
   pending : Ethernet.Frame.t Queue.t;
+  (* Reused staging buffer for generating spec-only payloads into pool
+     pages; [Phys_mem.write_sub] copies synchronously, so reuse is safe. *)
+  mutable scratch : Bytes.t;
   mutable was_full : bool;
   mutable event_pending : bool;
   mutable netdev : Netdev.t option;
@@ -18,6 +21,20 @@ type t = {
 let the_netdev t = Option.get t.netdev
 
 let post_kernel t ~cost fn = Xen.Hypervisor.kernel_work t.hyp t.dom ~cost fn
+
+(* Land a frame's payload in a pool page without allocating: frames that
+   carry bytes are written directly, spec-only frames are generated into
+   the reused scratch buffer first. *)
+let write_payload t ~addr frame =
+  match frame.Ethernet.Frame.data with
+  | Some d -> Memory.Phys_mem.write t.mem ~addr d
+  | None ->
+      let len = frame.Ethernet.Frame.payload_len in
+      if Bytes.length t.scratch < len then
+        t.scratch <- Bytes.create (max len 2048);
+      Ethernet.Frame.blit_payload ~seed:frame.Ethernet.Frame.payload_seed ~len
+        t.scratch ~pos:0;
+      Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
 
 let tx_space t =
   max 0
@@ -39,17 +56,8 @@ let pump t =
     | None -> continue := false
     | Some pfn ->
         let frame = Queue.pop t.pending in
-        if t.materialize then begin
-          let data =
-            match frame.Ethernet.Frame.data with
-            | Some d -> d
-            | None ->
-                Ethernet.Frame.materialize_payload
-                  ~seed:frame.Ethernet.Frame.payload_seed
-                  ~len:frame.Ethernet.Frame.payload_len
-          in
-          Memory.Phys_mem.write t.mem ~addr:(Memory.Addr.base_of_pfn pfn) data
-        end;
+        if t.materialize then
+          write_payload t ~addr:(Memory.Addr.base_of_pfn pfn) frame;
         ignore (Xchan.tx_push t.xchan { Xchan.frame; pfn });
         incr pushed
   done;
@@ -158,6 +166,7 @@ let create ~hyp ~dom ~costs ~xchan ~mac ~notify_backend ?(pool_pages = 1024)
       mem = Xen.Hypervisor.mem hyp;
       pool;
       pending = Queue.create ();
+      scratch = Bytes.empty;
       was_full = false;
       event_pending = false;
       netdev = None;

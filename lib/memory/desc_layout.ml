@@ -64,20 +64,8 @@ let validate t =
     Error "len_bytes must be 2 or 4"
   else check (fields t)
 
-let uint_write mem ~addr ~bytes v =
-  let b = Bytes.create bytes in
-  for i = 0 to bytes - 1 do
-    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
-  done;
-  Phys_mem.write mem ~addr b
-
-let uint_read mem ~addr ~bytes =
-  let b = Phys_mem.read mem ~addr ~len:bytes in
-  let rec build i acc =
-    if i < 0 then acc
-    else build (i - 1) ((acc lsl 8) lor Char.code (Bytes.get b i))
-  in
-  build (bytes - 1) 0
+let uint_write mem ~addr ~bytes v = Phys_mem.write_uint mem ~addr ~bytes v
+let uint_read mem ~addr ~bytes = Phys_mem.read_uint mem ~addr ~bytes
 
 let field_max bytes = if bytes >= 8 then max_int else (1 lsl (8 * bytes)) - 1
 let max_addr t = field_max t.addr_bytes

@@ -1,7 +1,26 @@
+(* Flat physical memory.
+
+   One contiguous [Bytes.t] backs the whole address space; page metadata
+   lives in a [Page.t array] indexed by pfn. The backing is allocated
+   uninitialized (the OS commits pages lazily), so a page must be zeroed
+   on first touch: the [materialized] bitmap records which pages have
+   been, and doubles as the [materialized_pages] accounting the old
+   hashtable gave for free. Reclaiming a page clears its bit, so a
+   reallocated frame zero-fills again on next access and never leaks the
+   previous owner's bytes.
+
+   The datapath accessors ([read_into], [write_sub], the fixed-width
+   uints) validate the range once at the API edge and then index the
+   flat store with [Bytes.unsafe_get]/[unsafe_set] — no intermediate
+   allocation, no per-page hashtable lookups. *)
+
 type t = {
   total_pages : int;
-  pages : (Addr.pfn, Page.t) Hashtbl.t;
-  contents : (Addr.pfn, Bytes.t) Hashtbl.t;
+  total_bytes : int;
+  data : Bytes.t;
+  pages : Page.t array;
+  materialized : Bytes.t; (* 1 bit per page *)
+  mutable materialized_count : int;
   mutable free_list : Addr.pfn list;
   mutable free_count : int;
 }
@@ -11,24 +30,58 @@ let create ~total_pages () =
   let rec build p acc = if p < 0 then acc else build (p - 1) (p :: acc) in
   {
     total_pages;
-    pages = Hashtbl.create 4096;
-    contents = Hashtbl.create 4096;
+    total_bytes = total_pages * Addr.page_size;
+    data = Bytes.create (total_pages * Addr.page_size);
+    pages = Array.init total_pages (fun pfn -> Page.create ~pfn);
+    materialized = Bytes.make ((total_pages + 7) / 8) '\000';
+    materialized_count = 0;
     free_list = build (total_pages - 1) [];
     free_count = total_pages;
   }
 
 let total_pages t = t.total_pages
 let free_pages t = t.free_count
+let materialized_pages t = t.materialized_count
+
+let is_materialized t pfn =
+  Char.code (Bytes.unsafe_get t.materialized (pfn lsr 3))
+  land (1 lsl (pfn land 7))
+  <> 0
+
+let materialize t pfn =
+  if not (is_materialized t pfn) then begin
+    Bytes.unsafe_set t.materialized (pfn lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get t.materialized (pfn lsr 3))
+         lor (1 lsl (pfn land 7))));
+    t.materialized_count <- t.materialized_count + 1;
+    Bytes.fill t.data (pfn lsl Addr.page_shift) Addr.page_size '\000'
+  end
+
+let dematerialize t pfn =
+  if is_materialized t pfn then begin
+    Bytes.unsafe_set t.materialized (pfn lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get t.materialized (pfn lsr 3))
+         land lnot (1 lsl (pfn land 7))));
+    t.materialized_count <- t.materialized_count - 1
+  end
+
+(* Zero-fill-on-first-touch for every page the range overlaps. Called
+   after the range has been validated. *)
+let touch_range t ~addr ~len =
+  if len > 0 then begin
+    let first = addr lsr Addr.page_shift in
+    let last = (addr + len - 1) lsr Addr.page_shift in
+    for pfn = first to last do
+      materialize t pfn
+    done
+  end
 
 let page t pfn =
   if pfn < 0 || pfn >= t.total_pages then
     invalid_arg "Phys_mem.page: pfn out of range";
-  match Hashtbl.find_opt t.pages pfn with
-  | Some p -> p
-  | None ->
-      let p = Page.create ~pfn in
-      Hashtbl.add t.pages pfn p;
-      p
+  Array.unsafe_get t.pages pfn
 
 let alloc t ~owner ~count =
   if count < 0 then invalid_arg "Phys_mem.alloc: negative count";
@@ -51,8 +104,9 @@ let alloc t ~owner ~count =
 let reclaim t pfn =
   t.free_list <- pfn :: t.free_list;
   t.free_count <- t.free_count + 1;
-  (* Freshly reallocated pages must not leak previous contents. *)
-  Hashtbl.remove t.contents pfn
+  (* Freshly reallocated pages must not leak previous contents: clearing
+     the bit makes the next touch zero-fill the frame again. *)
+  dematerialize t pfn
 
 let free t pfn =
   let p = page t pfn in
@@ -73,66 +127,115 @@ let put_ref t pfn =
 let owned_by t pfn dom =
   pfn >= 0 && pfn < t.total_pages && Page.is_owned_by (page t pfn) dom
 
-let backing t pfn =
-  match Hashtbl.find_opt t.contents pfn with
-  | Some b -> b
-  | None ->
-      let b = Bytes.make Addr.page_size '\000' in
-      Hashtbl.add t.contents pfn b;
-      b
+let valid_range t ~addr ~len =
+  len >= 0 && addr >= 0 && len <= t.total_bytes && addr <= t.total_bytes - len
 
 let check_range t ~addr ~len =
   if len < 0 then invalid_arg "Phys_mem: negative length";
-  if addr < 0 || addr + len > t.total_pages * Addr.page_size then
+  if addr < 0 || len > t.total_bytes || addr > t.total_bytes - len then
     invalid_arg "Phys_mem: address range out of bounds"
+
+let read_into t ~addr ~len dst ~pos =
+  check_range t ~addr ~len;
+  if pos < 0 || pos + len > Bytes.length dst then
+    invalid_arg "Phys_mem.read_into: destination range out of bounds";
+  touch_range t ~addr ~len;
+  Bytes.blit t.data addr dst pos len
+
+let write_sub t ~addr src ~pos ~len =
+  check_range t ~addr ~len;
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Phys_mem.write_sub: source range out of bounds";
+  touch_range t ~addr ~len;
+  Bytes.blit src pos t.data addr len
 
 let read t ~addr ~len =
   check_range t ~addr ~len;
-  let out = Bytes.create len in
-  let rec copy addr pos remaining =
-    if remaining > 0 then begin
-      let pfn = Addr.pfn_of addr in
-      let off = Addr.offset addr in
-      let chunk = min remaining (Addr.page_size - off) in
-      Bytes.blit (backing t pfn) off out pos chunk;
-      copy (addr + chunk) (pos + chunk) (remaining - chunk)
-    end
-  in
-  copy addr 0 len;
-  out
+  touch_range t ~addr ~len;
+  Bytes.sub t.data addr len
 
-let write t ~addr data =
-  let len = Bytes.length data in
-  check_range t ~addr ~len;
-  let rec copy addr pos remaining =
-    if remaining > 0 then begin
-      let pfn = Addr.pfn_of addr in
-      let off = Addr.offset addr in
-      let chunk = min remaining (Addr.page_size - off) in
-      Bytes.blit data pos (backing t pfn) off chunk;
-      copy (addr + chunk) (pos + chunk) (remaining - chunk)
-    end
-  in
-  copy addr 0 len
+let write t ~addr data = write_sub t ~addr data ~pos:0 ~len:(Bytes.length data)
+
+(* Fixed-width little-endian accessors: one validated range check, then
+   direct flat-store indexing — no intermediate buffers. *)
 
 let read_uint t ~addr ~bytes =
-  let b = read t ~addr ~len:bytes in
+  check_range t ~addr ~len:bytes;
+  touch_range t ~addr ~len:bytes;
+  let d = t.data in
   let rec build i acc =
-    if i < 0 then acc else build (i - 1) ((acc lsl 8) lor Char.code (Bytes.get b i))
+    if i < 0 then acc
+    else build (i - 1) ((acc lsl 8) lor Char.code (Bytes.unsafe_get d (addr + i)))
   in
   build (bytes - 1) 0
 
 let write_uint t ~addr ~bytes v =
-  let b = Bytes.create bytes in
+  check_range t ~addr ~len:bytes;
+  touch_range t ~addr ~len:bytes;
+  let d = t.data in
   for i = 0 to bytes - 1 do
-    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
-  done;
-  write t ~addr b
+    Bytes.unsafe_set d (addr + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
+  done
 
-let read_u16 t ~addr = read_uint t ~addr ~bytes:2
-let write_u16 t ~addr v = write_uint t ~addr ~bytes:2 v
-let read_u32 t ~addr = read_uint t ~addr ~bytes:4
-let write_u32 t ~addr v = write_uint t ~addr ~bytes:4 v
-let read_u64 t ~addr = read_uint t ~addr ~bytes:8
-let write_u64 t ~addr v = write_uint t ~addr ~bytes:8 v
-let materialized_pages t = Hashtbl.length t.contents
+let read_u16 t ~addr =
+  check_range t ~addr ~len:2;
+  touch_range t ~addr ~len:2;
+  let d = t.data in
+  Char.code (Bytes.unsafe_get d addr)
+  lor (Char.code (Bytes.unsafe_get d (addr + 1)) lsl 8)
+
+let write_u16 t ~addr v =
+  check_range t ~addr ~len:2;
+  touch_range t ~addr ~len:2;
+  let d = t.data in
+  Bytes.unsafe_set d addr (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set d (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+
+let read_u32 t ~addr =
+  check_range t ~addr ~len:4;
+  touch_range t ~addr ~len:4;
+  let d = t.data in
+  Char.code (Bytes.unsafe_get d addr)
+  lor (Char.code (Bytes.unsafe_get d (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get d (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get d (addr + 3)) lsl 24)
+
+let write_u32 t ~addr v =
+  check_range t ~addr ~len:4;
+  touch_range t ~addr ~len:4;
+  let d = t.data in
+  Bytes.unsafe_set d addr (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set d (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set d (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set d (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let read_u64 t ~addr =
+  check_range t ~addr ~len:8;
+  touch_range t ~addr ~len:8;
+  let d = t.data in
+  let lo =
+    Char.code (Bytes.unsafe_get d addr)
+    lor (Char.code (Bytes.unsafe_get d (addr + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get d (addr + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get d (addr + 3)) lsl 24)
+  in
+  let hi =
+    Char.code (Bytes.unsafe_get d (addr + 4))
+    lor (Char.code (Bytes.unsafe_get d (addr + 5)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get d (addr + 6)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get d (addr + 7)) lsl 24)
+  in
+  lo lor (hi lsl 32)
+
+let write_u64 t ~addr v =
+  check_range t ~addr ~len:8;
+  touch_range t ~addr ~len:8;
+  let d = t.data in
+  Bytes.unsafe_set d addr (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set d (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set d (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set d (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set d (addr + 4) (Char.unsafe_chr ((v lsr 32) land 0xff));
+  Bytes.unsafe_set d (addr + 5) (Char.unsafe_chr ((v lsr 40) land 0xff));
+  Bytes.unsafe_set d (addr + 6) (Char.unsafe_chr ((v lsr 48) land 0xff));
+  Bytes.unsafe_set d (addr + 7) (Char.unsafe_chr ((v lsr 56) land 0xff))

@@ -2,13 +2,16 @@
 
     A flat physical address space of 4 KB pages with per-page ownership and
     reference counting ({!Page}), a free-list allocator, and real byte
-    contents. Contents are materialized lazily — guests in the experiments
-    only touch network-buffer pages, so a 4 GB machine costs only what is
-    actually written.
+    contents. The backing store is one contiguous [Bytes.t]; page contents
+    are still materialized (zero-filled) lazily on first touch — guests in
+    the experiments only touch network-buffer pages, so a 4 GB machine
+    commits only what is actually written.
 
-    DMA in the simulator goes through {!read}/{!write}, so a protection bug
-    (or a deliberately disabled protection mode, as in the paper's Table 4
-    experiment) corrupts real simulated memory that tests can observe. *)
+    DMA in the simulator goes through {!read}/{!write} (or the
+    non-allocating {!read_into}/{!write_sub} used by the datapath), so a
+    protection bug (or a deliberately disabled protection mode, as in the
+    paper's Table 4 experiment) corrupts real simulated memory that tests
+    can observe. *)
 
 type t
 
@@ -56,10 +59,34 @@ val owned_by : t -> Addr.pfn -> Page.domain_id -> bool
     Ranges may span pages. @raise Invalid_argument on out-of-range
     accesses or negative lengths. *)
 
+(** [valid_range t ~addr ~len] is true iff [\[addr, addr+len)] lies
+    entirely inside physical memory (and [len >= 0]). The one bounds
+    predicate shared by {!check_range}-style validation here and the DMA
+    engine's admission check, so the two cannot drift. *)
+val valid_range : t -> addr:Addr.t -> len:int -> bool
+
 val read : t -> addr:Addr.t -> len:int -> Bytes.t
 val write : t -> addr:Addr.t -> Bytes.t -> unit
 
-(** Fixed-width little-endian accessors used by descriptor rings. *)
+(** [read_into t ~addr ~len dst ~pos] copies [len] bytes starting at
+    physical [addr] into [dst] at [pos] without allocating.
+    @raise Invalid_argument if either range is out of bounds. *)
+val read_into : t -> addr:Addr.t -> len:int -> Bytes.t -> pos:int -> unit
+
+(** [write_sub t ~addr src ~pos ~len] writes [src[pos, pos+len)] to
+    physical [addr] without allocating.
+    @raise Invalid_argument if either range is out of bounds. *)
+val write_sub : t -> addr:Addr.t -> Bytes.t -> pos:int -> len:int -> unit
+
+(** Fixed-width little-endian accessors used by descriptor rings. All of
+    them index the flat backing store directly — one validated range
+    check, no intermediate buffer. *)
+
+(** Variable-width little-endian accessors ([bytes] in [1, 8]), for
+    descriptor layouts with non-standard field widths. *)
+
+val read_uint : t -> addr:Addr.t -> bytes:int -> int
+val write_uint : t -> addr:Addr.t -> bytes:int -> int -> unit
 
 val read_u16 : t -> addr:Addr.t -> int
 val write_u16 : t -> addr:Addr.t -> int -> unit

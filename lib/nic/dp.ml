@@ -32,10 +32,14 @@ type ctx = {
   mutable tx_expected_seqno : int;
   mutable rx_expected_seqno : int;
   tx_meta : Ethernet.Frame.t Queue.t;
-  (* Scatter/gather: payload fragments (bytes when materializing) of the
-     packet being assembled, most recent first, until a descriptor with
-     the end-of-packet flag arrives. *)
-  mutable sg_frags : Bytes.t option list;
+  (* Scatter/gather assembly: payload fragments of the packet being
+     assembled land in [sg_buf[0, sg_len)] (grow-on-demand, reused across
+     packets) until a descriptor with the end-of-packet flag arrives.
+     Safe because the fetch engine admits one fragment DMA at a time
+     ([fetch_busy]), so the buffer is never grown under an in-flight
+     [read_into]. *)
+  mutable sg_buf : Bytes.t;
+  mutable sg_len : int;
   mutable sg_frag_descs : int;
   rx_backlog : (Ethernet.Frame.t * int) Queue.t; (* frame, epoch *)
   mutable tx_completed_unread : int;
@@ -68,6 +72,11 @@ type t = {
   mutable promiscuous : int option;
   tx_buf : Pkt_buf.t;
   rx_buf : Pkt_buf.t;
+  (* Staging buffer for the one in-flight receive delivery ([rx_busy]
+     serializes them): payload bytes are generated or truncated here and
+     DMAed out with [write_from], so steady-state receive allocates
+     nothing per frame. *)
+  mutable rx_scratch : Bytes.t;
   mutable link : (Ethernet.Link.t * Ethernet.Link.side) option;
   (* Transmit pipeline: fetch stage feeding a small ready FIFO ahead of the
      wire stage. *)
@@ -111,7 +120,8 @@ let make_ctx id =
     tx_expected_seqno = 0;
     rx_expected_seqno = 0;
     tx_meta = Queue.create ();
-    sg_frags = [];
+    sg_buf = Bytes.empty;
+    sg_len = 0;
     sg_frag_descs = 0;
     rx_backlog = Queue.create ();
     tx_completed_unread = 0;
@@ -137,6 +147,7 @@ let create engine ~mem ~dma ~config ~contexts ~dma_context_base ~notify
     promiscuous = None;
     tx_buf = Pkt_buf.create ~capacity:config.Nic_config.tx_buffer_bytes;
     rx_buf = Pkt_buf.create ~capacity:config.Nic_config.rx_buffer_bytes;
+    rx_scratch = Bytes.empty;
     link = None;
     ready = Queue.create ();
     fetch_busy = false;
@@ -243,6 +254,15 @@ let writeback_status t (c : ctx) =
 
 (* ---------- Transmit pipeline ---------- *)
 
+let ensure_capacity buf ~len ~keep =
+  if Bytes.length buf >= len then buf
+  else begin
+    let cap = max len (max 2048 (2 * Bytes.length buf)) in
+    let b = Bytes.create cap in
+    if keep > 0 then Bytes.blit buf 0 b 0 keep;
+    b
+  end
+
 let tx_work_available (c : ctx) =
   c.active && (not c.faulted) && c.tx_ring <> None
   && c.tx_fetch_next < c.tx_prod
@@ -266,7 +286,7 @@ let rec run_tx_fetch t =
     match pick_ctx t ~rr:t.tx_rr ~has_work:tx_work_available with
     | None -> ()
     | Some c ->
-        let first_fragment = c.sg_frags = [] in
+        let first_fragment = c.sg_frag_descs = 0 in
         (* The reservation itself is the admission check: if it fails the
            fetch stage stalls until the wire stage frees buffer space (a
            wire completion re-runs the fetch stage). Ignoring a failed
@@ -291,7 +311,7 @@ let rec run_tx_fetch t =
         end
 
 and abandon_fetch t c =
-  c.sg_frags <- [];
+  c.sg_len <- 0;
   c.sg_frag_descs <- 0;
   Pkt_buf.release t.tx_buf ~bytes:max_frame_bytes;
   t.fetch_busy <- false;
@@ -312,16 +332,19 @@ and fetch_descriptor_done t c ~epoch ~daddr res =
         if not (check_seqno t c Tx desc) then abandon_fetch t c
         else begin
           let fetch_payload k =
-            if t.cfg.Nic_config.materialize_payloads then
-              Bus.Dma_engine.read t.dma ~context:(dma_ctx t c) ~addr:desc.addr
-                ~len:desc.len (function
-                | Error e -> k (Error e)
-                | Ok bytes -> k (Ok (Some bytes)))
+            if t.cfg.Nic_config.materialize_payloads then begin
+              (* Fragment bytes land directly in the assembly buffer at
+                 completion time; grow it before submitting, never while
+                 the DMA is in flight. *)
+              c.sg_buf <-
+                ensure_capacity c.sg_buf ~len:(c.sg_len + desc.len)
+                  ~keep:c.sg_len;
+              Bus.Dma_engine.read_into t.dma ~context:(dma_ctx t c)
+                ~addr:desc.addr ~len:desc.len ~dst:c.sg_buf ~pos:c.sg_len k
+            end
             else
               Bus.Dma_engine.access t.dma ~context:(dma_ctx t c)
-                ~addr:desc.addr ~len:desc.len (function
-                | Error e -> k (Error e)
-                | Ok () -> k (Ok None))
+                ~addr:desc.addr ~len:desc.len k
           in
           fetch_payload (fun res ->
               if c.epoch <> epoch then abandon_fetch t c
@@ -330,8 +353,9 @@ and fetch_descriptor_done t c ~epoch ~daddr res =
                 | Error e ->
                     fault t c Tx (Dma_fault e);
                     abandon_fetch t c
-                | Ok data ->
-                    c.sg_frags <- data :: c.sg_frags;
+                | Ok () ->
+                    if t.cfg.Nic_config.materialize_payloads then
+                      c.sg_len <- c.sg_len + desc.len;
                     c.sg_frag_descs <- c.sg_frag_descs + 1;
                     if desc.flags land Memory.Dma_desc.flag_end_of_packet = 0
                     then begin
@@ -348,24 +372,22 @@ and fetch_descriptor_done t c ~epoch ~daddr res =
                           fault t c Tx Missing_meta;
                           abandon_fetch t c
                       | Some frame ->
-                          (* Assemble the packet from its fragments. The
-                             frame carries whatever bytes were actually in
-                             host memory; a corrupt descriptor shows up at
-                             the receiver as a payload mismatch. *)
-                          let frags = List.rev c.sg_frags in
+                          (* The packet is fully assembled. The frame
+                             carries whatever bytes were actually in host
+                             memory; a corrupt descriptor shows up at the
+                             receiver as a payload mismatch. One copy per
+                             packet here, since the frame outlives the
+                             reusable assembly buffer. *)
+                          let total = c.sg_len in
                           let n_descs = c.sg_frag_descs in
-                          c.sg_frags <- [];
+                          c.sg_len <- 0;
                           c.sg_frag_descs <- 0;
                           let frame =
                             if t.cfg.Nic_config.materialize_payloads then
                               {
                                 frame with
                                 Ethernet.Frame.data =
-                                  Some
-                                    (Bytes.concat Bytes.empty
-                                       (List.map
-                                          (Option.value ~default:Bytes.empty)
-                                          frags));
+                                  Some (Bytes.sub c.sg_buf 0 total);
                               }
                             else frame
                           in
@@ -520,17 +542,21 @@ and rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res =
                   run_rx t
           in
           if t.cfg.Nic_config.materialize_payloads then begin
-            let frame =
-              if frame.Ethernet.Frame.data = None then
-                Ethernet.Frame.with_data frame
-              else frame
-            in
-            let data = Option.get frame.Ethernet.Frame.data in
-            let data =
-              if Bytes.length data > len then Bytes.sub data 0 len else data
-            in
-            Bus.Dma_engine.write t.dma ~context:(dma_ctx t c) ~addr:desc.addr
-              ~data deliver
+            (* Deliver through the per-NIC staging buffer: spec-only
+               frames generate their payload straight into it, frames
+               that already carry bytes are staged (and truncated to the
+               posted buffer) without a fresh allocation. [rx_busy] keeps
+               the scratch untouched until [deliver] fires. *)
+            (match frame.Ethernet.Frame.data with
+            | None ->
+                t.rx_scratch <- ensure_capacity t.rx_scratch ~len ~keep:0;
+                Ethernet.Frame.blit_payload ~seed:frame.Ethernet.Frame.payload_seed
+                  ~len t.rx_scratch ~pos:0
+            | Some data ->
+                t.rx_scratch <- ensure_capacity t.rx_scratch ~len ~keep:0;
+                Bytes.blit data 0 t.rx_scratch 0 len);
+            Bus.Dma_engine.write_from t.dma ~context:(dma_ctx t c)
+              ~addr:desc.addr ~src:t.rx_scratch ~pos:0 ~len deliver
           end
           else
             Bus.Dma_engine.access t.dma ~context:(dma_ctx t c) ~addr:desc.addr
@@ -593,7 +619,7 @@ let deactivate t ~ctx:i =
     (* A packet abandoned mid-assembly holds a transmit-buffer
        reservation; release it here unless an in-flight fetch for this
        context will do so when its completion observes the epoch bump. *)
-    if c.sg_frags <> [] && t.fetch_ctx <> Some c.id then
+    if c.sg_frag_descs > 0 && t.fetch_ctx <> Some c.id then
       Pkt_buf.release t.tx_buf ~bytes:max_frame_bytes;
     Queue.iter
       (fun (frame, _) ->
@@ -601,7 +627,7 @@ let deactivate t ~ctx:i =
       c.rx_backlog;
     Queue.clear c.rx_backlog;
     Queue.clear c.tx_meta;
-    c.sg_frags <- [];
+    c.sg_len <- 0;
     c.sg_frag_descs <- 0;
     Queue.clear c.rx_completions;
     c.tx_completed_unread <- 0;

@@ -1,63 +1,88 @@
-type event = {
-  time : Time.t;
-  mutable cancelled : bool;
-  fn : unit -> unit;
-}
+(* Events live in the heap as their bare callbacks — no per-event
+   record. A boxed event record per schedule is the single largest cost
+   of the event loop: every pending record stays live in the queue, so
+   each one is promoted out of the minor heap and churns the write
+   barrier. Instead, the heap key carries the time, the heap's FIFO seq
+   carries the ordering, and cancellation goes through the heap's
+   stable entry handles: cancelling replaces the stored callback with
+   the private [cancelled] marker, which the pop loop skips by physical
+   equality. Handles go stale on pop, so cancelling an event that
+   already fired is a no-op without any per-event [fired] flag. *)
 
-type event_id = event
+type event_id = int
 
 type t = {
   mutable now : Time.t;
   mutable fired : int;
-  queue : event Heap.t;
+  mutable live : int;
+  queue : (unit -> unit) Heap.t;
 }
 
-let compare_event (a : event) (b : event) = Time.compare a.time b.time
-let create () = { now = Time.zero; fired = 0; queue = Heap.create ~compare:compare_event }
+(* Marker closures, distinguished from user callbacks by physical
+   equality. [dummy_fn] fills vacated heap slots (never popped);
+   [cancelled] replaces the callback of a cancelled event. *)
+let dummy_fn : unit -> unit = fun () -> ()
+let cancelled : unit -> unit = fun () -> ()
+
+let create () =
+  { now = Time.zero; fired = 0; live = 0; queue = Heap.create ~dummy:dummy_fn }
+
 let now t = t.now
 let fired_count t = t.fired
 let pending_count t = Heap.length t.queue
+let live_pending_count t = t.live
 
 let schedule_at t time fn =
   if Time.compare time t.now < 0 then
     invalid_arg "Engine.schedule_at: time in the past";
-  let ev = { time; cancelled = false; fn } in
-  Heap.push t.queue ev;
-  ev
+  t.live <- t.live + 1;
+  Heap.push_handle t.queue ~key:(Time.to_ns time) fn
 
 let schedule t ~delay fn =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t (Time.add t.now delay) fn
 
-let cancel _t id = id.cancelled <- true
+let cancel t id =
+  match Heap.get t.queue id with
+  | Some fn when fn != cancelled ->
+      ignore (Heap.set t.queue id cancelled);
+      t.live <- t.live - 1
+  | Some _ | None -> ()
 
-let fire t ev =
-  t.now <- ev.time;
+let[@inline] fire t ~time fn =
+  t.now <- time;
   t.fired <- t.fired + 1;
-  ev.fn ()
+  t.live <- t.live - 1;
+  fn ()
 
 let step t =
   let rec next () =
-    match Heap.pop t.queue with
+    match Heap.min_key t.queue with
     | None -> false
-    | Some ev when ev.cancelled -> next ()
-    | Some ev ->
-        fire t ev;
-        true
+    | Some k ->
+        let fn = Heap.pop_exn t.queue in
+        if fn == cancelled then next ()
+        else begin
+          fire t ~time:(Time.ns k) fn;
+          true
+        end
   in
   next ()
 
 let run t ~until =
   let rec loop () =
     match Heap.peek t.queue with
-    | Some ev when ev.cancelled ->
+    | Some fn when fn == cancelled ->
         ignore (Heap.pop t.queue);
         loop ()
-    | Some ev when Time.compare ev.time until <= 0 ->
-        ignore (Heap.pop t.queue);
-        fire t ev;
-        loop ()
-    | Some _ | None -> t.now <- Time.max t.now until
+    | Some _ -> (
+        match Heap.min_key t.queue with
+        | Some k when Time.compare (Time.ns k) until <= 0 ->
+            let fn = Heap.pop_exn t.queue in
+            fire t ~time:(Time.ns k) fn;
+            loop ()
+        | Some _ | None -> t.now <- Time.max t.now until)
+    | None -> t.now <- Time.max t.now until
   in
   loop ()
 
@@ -68,3 +93,7 @@ let run_to_completion ?(limit = max_int) t =
     else `Completed
   in
   loop 0
+
+let register_metrics t m =
+  Metrics.gauge m "engine.pending" (fun () -> live_pending_count t);
+  Metrics.gauge m "engine.fired" (fun () -> t.fired)

@@ -20,6 +20,11 @@ val fired_count : t -> int
 (** Number of events currently pending (including cancelled-but-unswept). *)
 val pending_count : t -> int
 
+(** Number of pending events that will actually fire: cancelled events
+    still sitting in the queue are not counted. This is the number the
+    [engine.pending] gauge reports. *)
+val live_pending_count : t -> int
+
 (** [schedule t ~delay fn] runs [fn] at [now t + delay].
     @raise Invalid_argument if [delay] is negative. *)
 val schedule : t -> delay:Time.t -> (unit -> unit) -> event_id
@@ -42,3 +47,7 @@ val run_to_completion : ?limit:int -> t -> [ `Completed | `Event_limit ]
 
 (** [step t] fires the single next event; [false] if the queue is empty. *)
 val step : t -> bool
+
+(** Expose the engine's counters as gauges: [engine.pending] (live
+    events only, via {!live_pending_count}) and [engine.fired]. *)
+val register_metrics : t -> Metrics.t -> unit

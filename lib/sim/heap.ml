@@ -1,82 +1,214 @@
-type 'a entry = { value : 'a; seq : int }
+(* Unboxed 4-ary min-heap keyed by int, with stable entry handles.
+
+   Layout is chosen for the sift-down cache behavior that dominates the
+   event-queue hot path:
+
+   - [nodes] interleaves (key, slot) pairs at stride 2, so the four
+     children of a node occupy 8 contiguous words — one or two cache
+     lines per level instead of one line per array per level. A 4-ary
+     tree also halves the depth (and therefore the chain of dependent
+     cache misses) relative to a binary heap.
+   - Values never move: they live in a slot arena ([vals]) addressed by
+     the slot stored in the node, so sifting shuffles only plain ints
+     and performs no write barriers.
+   - FIFO tie-breaking seqs are also per-slot ([seqs]); sift compares
+     consult them only when two keys are actually equal, which keeps
+     the common sift step at one key load per child.
+
+   The per-slot seq doubles as a generation: a handle packs
+   (seq lsl 24) lor slot, and [seqs.(slot)] is reset to -1 when the slot
+   is freed, so handles to popped entries go stale automatically. This
+   is what lets the engine cancel events in O(1) without boxing a
+   per-event record (keeping every pending event's record live is the
+   single largest GC cost of a boxed design).
+
+   Vacated [vals] slots are overwritten with [dummy] so a popped
+   payload is not pinned by the heap until the slot is reused. *)
 
 type 'a t = {
-  compare : 'a -> 'a -> int;
-  mutable data : 'a entry array;
+  dummy : 'a;
+  mutable nodes : int array; (* stride 2: key, slot *)
+  mutable vals : 'a array; (* arena, indexed by slot *)
+  mutable seqs : int array; (* arena: seq while pending, -1 when free *)
+  mutable free : int array; (* stack of reusable slots *)
+  mutable free_top : int;
+  mutable arena_used : int;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create ~compare = { compare; data = [||]; size = 0; next_seq = 0 }
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
+
+let create ~dummy =
+  {
+    dummy;
+    nodes = [||];
+    vals = [||];
+    seqs = [||];
+    free = [||];
+    free_top = 0;
+    arena_used = 0;
+    size = 0;
+    next_seq = 0;
+  }
+
 let length h = h.size
 let is_empty h = h.size = 0
 
-(* Order by user comparison, then by insertion sequence for stability. *)
-let entry_lt h a b =
-  let c = h.compare a.value b.value in
-  if c <> 0 then c < 0 else a.seq < b.seq
-
 let grow h =
-  let cap = Array.length h.data in
-  let new_cap = if cap = 0 then 16 else cap * 2 in
-  (* Dummy slots share the first entry; they are never read past [size]. *)
-  let data = Array.make new_cap h.data.(0) in
-  Array.blit h.data 0 data 0 h.size;
-  h.data <- data
+  let cap = Array.length h.vals in
+  let nc = if cap = 0 then 16 else cap * 2 in
+  if nc > slot_mask + 1 then invalid_arg "Heap: too many pending entries";
+  let nodes = Array.make (2 * nc) 0 in
+  let vals = Array.make nc h.dummy in
+  let seqs = Array.make nc (-1) in
+  Array.blit h.nodes 0 nodes 0 (2 * h.size);
+  Array.blit h.vals 0 vals 0 h.arena_used;
+  Array.blit h.seqs 0 seqs 0 h.arena_used;
+  h.nodes <- nodes;
+  h.vals <- vals;
+  h.seqs <- seqs
 
-let push h v =
-  let e = { value = v; seq = h.next_seq } in
-  h.next_seq <- h.next_seq + 1;
-  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e;
-  if h.size = Array.length h.data then grow h;
-  h.data.(h.size) <- e;
-  h.size <- h.size + 1;
-  (* Sift up. *)
-  let i = ref (h.size - 1) in
-  while
-    !i > 0
-    &&
-    let parent = (!i - 1) / 2 in
-    entry_lt h h.data.(!i) h.data.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = h.data.(!i) in
-    h.data.(!i) <- h.data.(parent);
-    h.data.(parent) <- tmp;
-    i := parent
-  done
+(* The free stack is grown lazily on first pop (and never shrinks), so a
+   push-only phase pays no allocation or zero-init for it at all. *)
+let ensure_free h =
+  if Array.length h.free <= h.free_top then begin
+    let nc = max 16 (Array.length h.vals) in
+    let free = Array.make nc 0 in
+    Array.blit h.free 0 free 0 h.free_top;
+    h.free <- free
+  end
 
-let peek h = if h.size = 0 then None else Some h.data.(0).value
-
-let sift_down h =
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < h.size && entry_lt h h.data.(l) h.data.(!smallest) then
-      smallest := l;
-    if r < h.size && entry_lt h h.data.(r) h.data.(!smallest) then
-      smallest := r;
-    if !smallest = !i then continue := false
-    else begin
-      let tmp = h.data.(!i) in
-      h.data.(!i) <- h.data.(!smallest);
-      h.data.(!smallest) <- tmp;
-      i := !smallest
+let push_handle h ~key v =
+  if h.size = Array.length h.vals then grow h;
+  let slot =
+    if h.free_top > 0 then begin
+      let t = h.free_top - 1 in
+      h.free_top <- t;
+      Array.unsafe_get h.free t
     end
-  done
+    else begin
+      let s = h.arena_used in
+      h.arena_used <- s + 1;
+      s
+    end
+  in
+  Array.unsafe_set h.vals slot v;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  Array.unsafe_set h.seqs slot seq;
+  let nodes = h.nodes in
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  (* Sift up. Every existing entry has a smaller seq than the new one,
+     so an equal-key parent stays the parent: only [pk > key] moves. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) lsr 2 in
+    let pk = Array.unsafe_get nodes (2 * p) in
+    if pk > key then begin
+      Array.unsafe_set nodes (2 * !i) pk;
+      Array.unsafe_set nodes ((2 * !i) + 1)
+        (Array.unsafe_get nodes ((2 * p) + 1));
+      i := p
+    end
+    else continue := false
+  done;
+  Array.unsafe_set nodes (2 * !i) key;
+  Array.unsafe_set nodes ((2 * !i) + 1) slot;
+  (seq lsl slot_bits) lor slot
+
+let push h ~key v = ignore (push_handle h ~key v)
+
+let[@inline] handle_live h handle =
+  let slot = handle land slot_mask in
+  slot < Array.length h.seqs
+  && Array.unsafe_get h.seqs slot = handle lsr slot_bits
+
+let get h handle =
+  if handle_live h handle then
+    Some (Array.unsafe_get h.vals (handle land slot_mask))
+  else None
+
+let set h handle v =
+  if handle_live h handle then begin
+    Array.unsafe_set h.vals (handle land slot_mask) v;
+    true
+  end
+  else false
+
+let peek h =
+  if h.size = 0 then None
+  else Some (Array.unsafe_get h.vals (Array.unsafe_get h.nodes 1))
+
+let min_key h =
+  if h.size = 0 then None else Some (Array.unsafe_get h.nodes 0)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h
+    let nodes = h.nodes in
+    let seqs = h.seqs in
+    let slot0 = Array.unsafe_get nodes 1 in
+    let v = Array.unsafe_get h.vals slot0 in
+    (* Release the slot so the heap does not pin [v], and stale any
+       handle to it. *)
+    Array.unsafe_set h.vals slot0 h.dummy;
+    Array.unsafe_set seqs slot0 (-1);
+    ensure_free h;
+    Array.unsafe_set h.free h.free_top slot0;
+    h.free_top <- h.free_top + 1;
+    let n = h.size - 1 in
+    h.size <- n;
+    if n > 0 then begin
+      (* Hole-based sift-down of the last entry: move min children up
+         into the hole, then write the entry once at its final spot. *)
+      let lk = Array.unsafe_get nodes (2 * n)
+      and lv = Array.unsafe_get nodes ((2 * n) + 1) in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let c0 = (4 * !i) + 1 in
+        if c0 >= n then continue := false
+        else begin
+          let nc = n - c0 in
+          let c = ref c0 in
+          let ck = ref (Array.unsafe_get nodes (2 * c0)) in
+          let limit = if nc > 4 then 4 else nc in
+          for d = 1 to limit - 1 do
+            let j = c0 + d in
+            let jk = Array.unsafe_get nodes (2 * j) in
+            if jk < !ck then begin
+              c := j;
+              ck := jk
+            end
+            else if
+              jk = !ck
+              && Array.unsafe_get seqs (Array.unsafe_get nodes ((2 * j) + 1))
+                 < Array.unsafe_get seqs
+                     (Array.unsafe_get nodes ((2 * !c) + 1))
+            then c := j
+          done;
+          if
+            !ck < lk
+            || !ck = lk
+               && Array.unsafe_get seqs
+                    (Array.unsafe_get nodes ((2 * !c) + 1))
+                  < Array.unsafe_get seqs lv
+          then begin
+            Array.unsafe_set nodes (2 * !i) !ck;
+            Array.unsafe_set nodes ((2 * !i) + 1)
+              (Array.unsafe_get nodes ((2 * !c) + 1));
+            i := !c
+          end
+          else continue := false
+        end
+      done;
+      Array.unsafe_set nodes (2 * !i) lk;
+      Array.unsafe_set nodes ((2 * !i) + 1) lv
     end;
-    Some top.value
+    Some v
   end
 
 let pop_exn h =
@@ -86,10 +218,16 @@ let pop_exn h =
 
 let clear h =
   h.size <- 0;
-  h.data <- [||]
+  h.free_top <- 0;
+  h.arena_used <- 0;
+  h.nodes <- [||];
+  h.vals <- [||];
+  h.seqs <- [||];
+  h.free <- [||]
 
 let to_list h =
   let rec build i acc =
-    if i < 0 then acc else build (i - 1) (h.data.(i).value :: acc)
+    if i < 0 then acc
+    else build (i - 1) (h.vals.(h.nodes.((2 * i) + 1)) :: acc)
   in
   build (h.size - 1) []

@@ -1,21 +1,51 @@
-(** Imperative binary min-heap.
+(** Imperative 4-ary min-heap keyed by [int].
 
-    Generic priority queue used by the event queue. Elements are ordered by
-    the comparison function supplied at creation; ties are broken by
-    insertion order (FIFO), which the discrete-event engine relies on for
-    deterministic same-timestamp ordering. *)
+    Priority queue used by the event queue. Elements are ordered by the
+    integer key given at push time; ties are broken by insertion order
+    (FIFO), which the discrete-event engine relies on for deterministic
+    same-timestamp ordering.
+
+    The implementation is unboxed — an interleaved [int array] of
+    (key, slot) pairs plus per-slot value/seq arenas — so pushes and
+    pops on the simulator hot path allocate nothing (amortized), never
+    call polymorphic compare, and sift only plain ints (no write
+    barriers). Values never move once pushed, which allows stable
+    handles ({!push_handle}) that go stale automatically when their
+    entry is popped. Popped value slots are overwritten with the
+    [dummy] element, so the heap does not retain popped payloads. *)
 
 type 'a t
 
-(** [create ~compare] makes an empty heap ordered by [compare]. *)
-val create : compare:('a -> 'a -> int) -> 'a t
+(** [create ~dummy] makes an empty heap. [dummy] fills unused value
+    slots; it is never returned by {!pop}/{!peek}. *)
+val create : dummy:'a -> 'a t
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
-val push : 'a t -> 'a -> unit
+
+(** [push h ~key v] inserts [v] with priority [key] (smaller pops first). *)
+val push : 'a t -> key:int -> 'a -> unit
+
+(** [push_handle h ~key v] is {!push} returning a handle to the pending
+    entry. The handle stays valid until the entry is popped; {!get} and
+    {!set} on a stale handle fail without touching anything (per-slot
+    generation check). At most [2^24] entries may be pending at once. *)
+val push_handle : 'a t -> key:int -> 'a -> int
+
+(** [get h handle] is the value of the pending entry, or [None] if the
+    entry was already popped (or the handle is garbage). *)
+val get : 'a t -> int -> 'a option
+
+(** [set h handle v] replaces the value of the pending entry, leaving
+    its key and FIFO rank untouched. Returns [false] (doing nothing) if
+    the entry was already popped. *)
+val set : 'a t -> int -> 'a -> bool
 
 (** [peek h] is the minimum element, or [None] when empty. *)
 val peek : 'a t -> 'a option
+
+(** [min_key h] is the key of the minimum element, or [None] when empty. *)
+val min_key : 'a t -> int option
 
 (** [pop h] removes and returns the minimum element, or [None] when empty. *)
 val pop : 'a t -> 'a option

@@ -1,0 +1,37 @@
+(* Shared definition of the golden determinism runs: the exact configs
+   and the artifact pipeline (trace recorder -> Chrome JSON, metrics
+   registry -> JSON) that both the fixture generator (gen_golden.ml) and
+   the golden test (test_experiments.ml) use. Keeping it in one place
+   guarantees the test compares like with like. *)
+
+let seeds = [ 1234; 77 ]
+
+let cfg ~seed =
+  {
+    Experiments.Config.default with
+    Experiments.Config.system = Experiments.Config.Cdna_sys;
+    nic = Experiments.Config.Ricenic;
+    pattern = Workload.Pattern.Tx;
+    guests = 2;
+    nics = 2;
+    warmup = Sim.Time.ms 1;
+    duration = Sim.Time.ms 2;
+    seed;
+  }
+
+(* Mirrors `cdna_sim run --trace-out --metrics-out`: record every trace
+   event, run, then render both artifacts exactly as the CLI does. *)
+let traced_artifacts ~seed =
+  let r = Sim.Trace.Recorder.create () in
+  Sim.Trace.set_sink (Some (Sim.Trace.Recorder.sink r));
+  let _, tb = Experiments.Run.run_tb (cfg ~seed) in
+  Sim.Trace.set_sink None;
+  Sim.Trace.Recorder.set_process_name r ~pid:0 "hypervisor";
+  List.iter
+    (fun d ->
+      Sim.Trace.Recorder.set_process_name r
+        ~pid:(Xen.Domain.id d + 1)
+        (Xen.Domain.name d))
+    (Xen.Hypervisor.domains tb.Experiments.Testbed.xen);
+  ( Sim.Trace.Recorder.to_chrome_string r,
+    Sim.Metrics.to_string tb.Experiments.Testbed.metrics )

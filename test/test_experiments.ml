@@ -467,6 +467,32 @@ let test_paper_claims_hold () =
         true v.Experiments.Claims.pass)
     verdicts
 
+(* Golden fixtures: trace and metrics output for fixed seeds, captured
+   before the hot-path optimizations landed. Any behavioral drift in the
+   engine, memory, DMA, or payload layers shows up here as a byte diff.
+   Regenerate (deliberately!) with: dune exec test/gen_golden.exe -- test/golden *)
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_artifacts () =
+  List.iter
+    (fun seed ->
+      let trace, metrics = Golden.traced_artifacts ~seed in
+      check_bool
+        (Printf.sprintf "trace for seed %d matches golden fixture" seed)
+        true
+        (String.equal trace (read_file (Printf.sprintf "golden/trace_seed%d.json" seed)));
+      check_bool
+        (Printf.sprintf "metrics for seed %d matches golden fixture" seed)
+        true
+        (String.equal metrics
+           (read_file (Printf.sprintf "golden/metrics_seed%d.json" seed))))
+    Golden.seeds
+
 let suite =
   [
     ( "experiments.single_guest",
@@ -487,6 +513,7 @@ let suite =
     ( "experiments.observability",
       [
         Alcotest.test_case "trace byte-identical" `Slow test_trace_byte_identical;
+        Alcotest.test_case "golden artifacts" `Slow test_golden_artifacts;
         Alcotest.test_case "trace covers subsystems" `Slow
           test_trace_covers_subsystems;
       ] );

@@ -187,6 +187,181 @@ let prop_mem_alloc_disjoint =
       let pb = Result.get_ok (Memory.Phys_mem.alloc m ~owner:2 ~count:b) in
       List.for_all (fun p -> not (List.mem p pb)) pa)
 
+(* ---------- Flat-backing equivalence (qcheck) ----------
+
+   The flat [Phys_mem] must be observationally identical to the page-table
+   semantics it replaced: a plain zero-initialized byte array is the
+   reference model (zero-fill-on-first-touch means untouched memory reads
+   as zeros). Random op sequences run against both and every read must
+   agree. *)
+
+let model_pages = 16
+let model_bytes = model_pages * Memory.Addr.page_size
+
+(* op = (selector, addr-ish, len-ish, value) mapped into range inside the
+   property, so shrinking stays meaningful. *)
+let op_gen =
+  QCheck.(
+    quad (int_range 0 3) (int_range 0 (model_bytes - 1)) (int_range 0 9000)
+      (int_range 0 max_int))
+
+let le_model_write model ~addr ~bytes v =
+  for i = 0 to bytes - 1 do
+    Bytes.set model (addr + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let le_model_read model ~addr ~bytes =
+  let v = ref 0 in
+  for i = bytes - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get model (addr + i))
+  done;
+  !v
+
+let prop_mem_model_equiv =
+  QCheck.Test.make ~name:"flat phys_mem matches byte-array model" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 40) op_gen)
+    (fun ops ->
+      let m = Memory.Phys_mem.create ~total_pages:model_pages () in
+      let model = Bytes.make model_bytes '\000' in
+      List.for_all
+        (fun (sel, a, l, v) ->
+          match sel with
+          | 0 ->
+              (* write random bytes, possibly page-straddling *)
+              let len = min l (model_bytes - a) in
+              let data =
+                Bytes.init len (fun i -> Char.chr ((v + i) land 0xff))
+              in
+              Memory.Phys_mem.write m ~addr:a data;
+              Bytes.blit data 0 model a len;
+              true
+          | 1 ->
+              (* read and compare against the model *)
+              let len = min l (model_bytes - a) in
+              Bytes.equal
+                (Memory.Phys_mem.read m ~addr:a ~len)
+                (Bytes.sub model a len)
+          | 2 ->
+              (* variable-width little-endian write, widths 1-8; both
+                 sides truncate wide values the same way *)
+              let bytes = 1 + (l mod 8) in
+              let a = min a (model_bytes - bytes) in
+              Memory.Phys_mem.write_uint m ~addr:a ~bytes v;
+              le_model_write model ~addr:a ~bytes v;
+              true
+          | _ ->
+              (* variable-width read agrees with the model *)
+              let bytes = 1 + (l mod 8) in
+              let a = min a (model_bytes - bytes) in
+              Memory.Phys_mem.read_uint m ~addr:a ~bytes
+              = le_model_read model ~addr:a ~bytes)
+        ops
+      && Bytes.equal (Memory.Phys_mem.read m ~addr:0 ~len:model_bytes) model)
+
+let prop_mem_read_into_equiv =
+  QCheck.Test.make ~name:"read_into/write_sub agree with read/write"
+    ~count:200
+    QCheck.(triple (int_range 0 (model_bytes - 1)) (int_range 0 9000) int)
+    (fun (addr, l, seed) ->
+      let m = Memory.Phys_mem.create ~total_pages:model_pages () in
+      let len = min l (model_bytes - addr) in
+      let pos = addr land 63 in
+      let src = Bytes.init (pos + len) (fun i -> Char.chr ((seed + i) land 0xff)) in
+      Memory.Phys_mem.write_sub m ~addr src ~pos ~len;
+      let via_read = Memory.Phys_mem.read m ~addr ~len in
+      let dst = Bytes.make (pos + len) '\xAA' in
+      Memory.Phys_mem.read_into m ~addr ~len dst ~pos;
+      Bytes.equal via_read (Bytes.sub src pos len)
+      && Bytes.equal (Bytes.sub dst pos len) via_read)
+
+let prop_mem_uint_widths =
+  QCheck.Test.make ~name:"fixed-width accessors agree with read_uint"
+    ~count:200
+    QCheck.(pair (int_range 0 (model_bytes - 9)) int)
+    (fun (addr, v) ->
+      let m = Memory.Phys_mem.create ~total_pages:model_pages () in
+      let v = abs v in
+      Memory.Phys_mem.write_u16 m ~addr (v land 0xFFFF);
+      let ok16 =
+        Memory.Phys_mem.read_u16 m ~addr
+        = Memory.Phys_mem.read_uint m ~addr ~bytes:2
+      in
+      Memory.Phys_mem.write_u32 m ~addr (v land 0xFFFFFFFF);
+      let ok32 =
+        Memory.Phys_mem.read_u32 m ~addr
+        = Memory.Phys_mem.read_uint m ~addr ~bytes:4
+      in
+      Memory.Phys_mem.write_u64 m ~addr v;
+      let ok64 =
+        Memory.Phys_mem.read_u64 m ~addr
+        = Memory.Phys_mem.read_uint m ~addr ~bytes:8
+        && Memory.Phys_mem.read_u64 m ~addr = v
+      in
+      ok16 && ok32 && ok64)
+
+let prop_mem_zero_fill_after_reclaim =
+  QCheck.Test.make ~name:"reclaimed pages read as zeros" ~count:100
+    QCheck.(pair (int_range 0 (Memory.Addr.page_size - 1)) (int_range 1 255))
+    (fun (off, byte) ->
+      let m = Memory.Phys_mem.create ~total_pages:4 () in
+      let p = List.hd (Result.get_ok (Memory.Phys_mem.alloc m ~owner:1 ~count:1)) in
+      let addr = Memory.Addr.base_of_pfn p + off in
+      Memory.Phys_mem.write m ~addr (Bytes.make 1 (Char.chr byte));
+      let materialized = Memory.Phys_mem.materialized_pages m in
+      Memory.Phys_mem.free m p;
+      let p2 = List.hd (Result.get_ok (Memory.Phys_mem.alloc m ~owner:2 ~count:1)) in
+      p = p2
+      && materialized = 1
+      (* the reclaim dropped the page from the materialized accounting *)
+      && Memory.Phys_mem.materialized_pages m = 0
+      (* zero-fill-on-reclaim: dirty contents never leak across owners *)
+      && Memory.Phys_mem.read m ~addr ~len:1 = Bytes.make 1 '\000')
+
+let prop_mem_valid_range_consistent =
+  QCheck.Test.make ~name:"valid_range iff read does not raise" ~count:300
+    QCheck.(pair (int_range (-200) (model_bytes + 200)) (int_range (-8) 9000))
+    (fun (addr, len) ->
+      let m = Memory.Phys_mem.create ~total_pages:model_pages () in
+      let valid = Memory.Phys_mem.valid_range m ~addr ~len in
+      let read_ok =
+        match Memory.Phys_mem.read m ~addr ~len with
+        | (_ : Bytes.t) -> true
+        | exception Invalid_argument _ -> false
+      in
+      valid = read_ok)
+
+(* Steady-state accessors must not touch the minor heap: this is what
+   keeps the per-descriptor DMA path allocation-free. The epsilon absorbs
+   [Gc.minor_words]'s own boxed-float result. *)
+let test_mem_zero_alloc_accessors () =
+  let m = mem () in
+  let buf = Bytes.create 2048 in
+  let sink = ref 0 in
+  (* Touch everything once so lazy page materialization and CRC table
+     construction happen outside the measured window. *)
+  Memory.Phys_mem.write_sub m ~addr:100 buf ~pos:0 ~len:2048;
+  sink := Ethernet.Crc32.digest_sub buf ~pos:0 ~len:1500;
+  let before = Gc.minor_words () in
+  for i = 1 to 1000 do
+    Memory.Phys_mem.write_u64 m ~addr:64 i;
+    sink := !sink + Memory.Phys_mem.read_u64 m ~addr:64;
+    Memory.Phys_mem.write_u32 m ~addr:72 i;
+    sink := !sink + Memory.Phys_mem.read_u32 m ~addr:72;
+    Memory.Phys_mem.write_u16 m ~addr:76 (i land 0xFFFF);
+    sink := !sink + Memory.Phys_mem.read_u16 m ~addr:76;
+    Memory.Phys_mem.write_sub m ~addr:4000 buf ~pos:16 ~len:1500;
+    Memory.Phys_mem.read_into m ~addr:4000 ~len:1500 buf ~pos:16;
+    Ethernet.Frame.blit_payload ~seed:i ~len:1500 buf ~pos:0;
+    sink := !sink + Ethernet.Crc32.digest_sub buf ~pos:0 ~len:1500
+  done;
+  let allocated = Gc.minor_words () -. before in
+  ignore (Sys.opaque_identity !sink);
+  check_bool
+    (Printf.sprintf "steady-state accessors allocated %.0f minor words"
+       allocated)
+    true
+    (allocated < 256.)
+
 (* ---------- Dma_desc ---------- *)
 
 let test_desc_roundtrip () =
@@ -334,7 +509,14 @@ let suite =
         Alcotest.test_case "u16/u32/u64" `Quick test_mem_u_accessors;
         Alcotest.test_case "bounds" `Quick test_mem_bounds;
         Alcotest.test_case "transfer" `Quick test_mem_transfer;
+        Alcotest.test_case "zero-alloc accessors" `Quick
+          test_mem_zero_alloc_accessors;
         qcheck prop_mem_alloc_disjoint;
+        qcheck prop_mem_model_equiv;
+        qcheck prop_mem_read_into_equiv;
+        qcheck prop_mem_uint_widths;
+        qcheck prop_mem_zero_fill_after_reclaim;
+        qcheck prop_mem_valid_range_consistent;
       ] );
     ( "memory.dma_desc",
       [

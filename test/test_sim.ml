@@ -51,40 +51,64 @@ let test_time_pp () =
 (* ---------- Heap ---------- *)
 
 let test_heap_ordering () =
-  let h = Sim.Heap.create ~compare:Int.compare in
-  List.iter (Sim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  let h = Sim.Heap.create ~dummy:0 in
+  List.iter (fun v -> Sim.Heap.push h ~key:v v) [ 5; 3; 8; 1; 9; 2 ];
+  check Alcotest.(option int) "min_key" (Some 1) (Sim.Heap.min_key h);
   let order = List.init 6 (fun _ -> Sim.Heap.pop_exn h) in
   check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3; 5; 8; 9 ] order
 
 let test_heap_fifo_ties () =
   (* Equal keys must pop in insertion order (determinism). *)
-  let h = Sim.Heap.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
-  List.iter (Sim.Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
-  let tags = List.init 4 (fun _ -> snd (Sim.Heap.pop_exn h)) in
+  let h = Sim.Heap.create ~dummy:"" in
+  List.iter
+    (fun (k, v) -> Sim.Heap.push h ~key:k v)
+    [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let tags = List.init 4 (fun _ -> Sim.Heap.pop_exn h) in
   check (Alcotest.list Alcotest.string) "fifo" [ "z"; "a"; "b"; "c" ] tags
 
 let test_heap_empty () =
-  let h = Sim.Heap.create ~compare:Int.compare in
+  let h = Sim.Heap.create ~dummy:0 in
   check_bool "empty" true (Sim.Heap.is_empty h);
   check Alcotest.(option int) "peek none" None (Sim.Heap.peek h);
+  check Alcotest.(option int) "min_key none" None (Sim.Heap.min_key h);
   check Alcotest.(option int) "pop none" None (Sim.Heap.pop h);
   Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
     (fun () -> ignore (Sim.Heap.pop_exn h))
 
 let test_heap_clear () =
-  let h = Sim.Heap.create ~compare:Int.compare in
-  List.iter (Sim.Heap.push h) [ 1; 2; 3 ];
+  let h = Sim.Heap.create ~dummy:0 in
+  List.iter (fun v -> Sim.Heap.push h ~key:v v) [ 1; 2; 3 ];
   Sim.Heap.clear h;
   check_int "length" 0 (Sim.Heap.length h);
-  Sim.Heap.push h 9;
+  Sim.Heap.push h ~key:9 9;
   check Alcotest.(option int) "usable after clear" (Some 9) (Sim.Heap.pop h)
+
+(* Out-of-line so the test body holds no local root to the pushed value;
+   only the heap's internal array could keep it alive after the pop. *)
+let[@inline never] heap_push_pop_tracked h w =
+  let v = Bytes.create 64 in
+  Weak.set w 0 (Some v);
+  Sim.Heap.push h ~key:1 v;
+  ignore (Sim.Heap.pop_exn h)
+
+let test_heap_no_pin () =
+  (* Popping must release the heap's reference to the value: the vacated
+     array slot is overwritten with the dummy, so a popped payload is
+     collectable even while the heap object stays live. *)
+  let h = Sim.Heap.create ~dummy:Bytes.empty in
+  let w = Weak.create 1 in
+  heap_push_pop_tracked h w;
+  Gc.full_major ();
+  check_bool "heap retains popped value" false (Weak.check w 0);
+  (* Keep [h] live past the GC so retention would have been observable. *)
+  check_int "heap empty after pop" 0 (Sim.Heap.length h)
 
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops any int list sorted" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = Sim.Heap.create ~compare:Int.compare in
-      List.iter (Sim.Heap.push h) xs;
+      let h = Sim.Heap.create ~dummy:0 in
+      List.iter (fun v -> Sim.Heap.push h ~key:v v) xs;
       let out = List.init (List.length xs) (fun _ -> Sim.Heap.pop_exn h) in
       out = List.sort Int.compare xs)
 
@@ -167,6 +191,20 @@ let test_engine_event_limit () =
   match Sim.Engine.run_to_completion ~limit:100 e with
   | `Event_limit -> check_int "fired" 100 (Sim.Engine.fired_count e)
   | `Completed -> Alcotest.fail "should have hit the limit"
+
+let test_engine_live_pending () =
+  let e = Sim.Engine.create () in
+  let a = Sim.Engine.schedule e ~delay:10 (fun () -> ()) in
+  ignore (Sim.Engine.schedule e ~delay:20 (fun () -> ()));
+  check_int "two live" 2 (Sim.Engine.live_pending_count e);
+  Sim.Engine.cancel e a;
+  check_int "cancelled not counted" 1 (Sim.Engine.live_pending_count e);
+  Sim.Engine.cancel e a;
+  check_int "double cancel no-op" 1 (Sim.Engine.live_pending_count e);
+  (* The queue still physically holds the cancelled tombstone. *)
+  check_int "queue holds both" 2 (Sim.Engine.pending_count e);
+  ignore (Sim.Engine.run_to_completion e);
+  check_int "drained" 0 (Sim.Engine.live_pending_count e)
 
 (* ---------- Rng ---------- *)
 
@@ -537,6 +575,7 @@ let suite =
         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "empty" `Quick test_heap_empty;
         Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "pop releases value" `Quick test_heap_no_pin;
         qcheck prop_heap_sorts;
       ] );
     ( "sim.engine",
@@ -549,6 +588,7 @@ let suite =
         Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
         Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
         Alcotest.test_case "event limit" `Quick test_engine_event_limit;
+        Alcotest.test_case "live pending count" `Quick test_engine_live_pending;
       ] );
     ( "sim.rng",
       [
