@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json clean
+.PHONY: all build test lint bench bench-json clean
 
 all: build
 
@@ -7,6 +7,13 @@ build:
 
 test:
 	dune runtest
+
+# Static checks (determinism / zero-alloc hot paths / protection
+# boundaries) over lib/. Also runs as part of `dune runtest`; this
+# target additionally writes the LINT_stats.json artifact so suppression
+# counts can be tracked over time.
+lint:
+	dune exec lint/main.exe -- --stats LINT_stats.json lib
 
 # Full Bechamel run: paper-table regeneration benchmarks + micro set.
 bench:

@@ -36,28 +36,39 @@ let set_fault_injector t f = t.injector <- f
 (* An injected fault models a parity/timeout error on a transaction that
    was otherwise admitted: it occupies the bus like the real transfer
    would, then completes in error. *)
-let injected t ~context ~addr ~len =
+let[@cdna.hot] injected t ~context ~addr ~len =
   match t.injector with
   | None -> false
   | Some f ->
-      let hit = f ~context ~addr ~len in
+      let hit =
+        (f ~context ~addr ~len
+        [@cdna.alloc_ok "fault injection is test-only instrumentation"])
+      in
       if hit then t.injected_faults <- t.injected_faults + 1;
       hit
 
 (* One bounds predicate for the whole bus, shared with Phys_mem so the
    admission check cannot drift from the memory's own validation. *)
-let in_range t ~addr ~len = Memory.Phys_mem.valid_range t.mem ~addr ~len
+let[@cdna.hot] in_range t ~addr ~len =
+  Memory.Phys_mem.valid_range t.mem ~addr ~len
 
-let iommu_check t ~context ~addr ~len =
+let[@cdna.hot] iommu_check t ~context ~addr ~len =
   match t.iommu with
   | None -> Ok ()
   | Some iommu ->
-      let pages = Memory.Addr.pages_spanned ~addr ~len in
+      let pages =
+        (Memory.Addr.pages_spanned ~addr ~len
+        [@cdna.alloc_ok
+          "page list is bounded by pages-per-frame (<= 2 in practice); \
+           only built when an IOMMU is installed"])
+      in
       let rec check = function
         | [] -> Ok ()
         | pfn :: rest ->
             if Memory.Iommu.allowed iommu ~context pfn then check rest
-            else Error (`Iommu_denied pfn)
+            else
+              (Error (`Iommu_denied pfn)
+              [@cdna.alloc_ok "fault path, not steady state"])
       in
       check pages
 
@@ -66,7 +77,7 @@ let iommu_check t ~context ~addr ~len =
    transfer). *)
 let arbitration = Sim.Time.ns 40
 
-let submit t ~op ~context ~len action =
+let[@cdna.hot] submit t ~op ~context ~len action =
   let now = Sim.Engine.now t.engine in
   let start = Sim.Time.max now t.busy_until in
   let occupancy =
@@ -79,9 +90,10 @@ let submit t ~op ~context ~len action =
   t.transfers <- t.transfers + 1;
   t.bytes_moved <- t.bytes_moved + len;
   if Sim.Trace.tag_enabled "dma" then
-    Sim.Trace.complete ~time:start ~dur:occupancy ~tag:"dma" ~tid:context
-      ~args:[ ("len", Sim.Trace.Int len); ("context", Sim.Trace.Int context) ]
-      op;
+    (Sim.Trace.complete ~time:start ~dur:occupancy ~tag:"dma" ~tid:context
+       ~args:[ ("len", Sim.Trace.Int len); ("context", Sim.Trace.Int context) ]
+       op
+    [@cdna.alloc_ok "tracing branch, disabled unless the dma tag is on"]);
   ignore (Sim.Engine.schedule_at t.engine (Sim.Time.add bus_free t.latency) action)
 
 let read t ~context ~addr ~len k =
@@ -96,19 +108,29 @@ let read t ~context ~addr ~len k =
           submit t ~op:"read" ~context ~len (fun () ->
               k (Ok (Memory.Phys_mem.read t.mem ~addr ~len)))
 
-let read_into t ~context ~addr ~len ~dst ~pos k =
+(* The completion closure handed to [submit] is the one steady-state
+   allocation of a zero-copy DMA: deferred completion has to capture the
+   destination somewhere. Everything else on the path is alloc-free. *)
+let[@cdna.hot] read_into t ~context ~addr ~len ~dst ~pos k =
   if not (in_range t ~addr ~len) then k (Error `Bad_range)
   else if pos < 0 || len > Bytes.length dst - pos then k (Error `Bad_range)
   else
     match iommu_check t ~context ~addr ~len with
-    | Error e -> k (Error (e :> fault))
+    | Error e ->
+        k (Error (e :> fault) [@cdna.alloc_ok "fault path, not steady state"])
     | Ok () ->
         if injected t ~context ~addr ~len then
-          submit t ~op:"read" ~context ~len (fun () -> k (Error `Injected))
+          submit t ~op:"read" ~context ~len
+            ((fun () -> k (Error `Injected))
+            [@cdna.alloc_ok "fault path, not steady state"])
         else
-          submit t ~op:"read" ~context ~len (fun () ->
-              Memory.Phys_mem.read_into t.mem ~addr ~len dst ~pos;
-              k (Ok ()))
+          submit t ~op:"read" ~context ~len
+            ((fun () ->
+               Memory.Phys_mem.read_into t.mem ~addr ~len dst ~pos;
+               k (Ok ()))
+            [@cdna.alloc_ok
+              "one completion closure per transfer: the unavoidable cost \
+               of deferred completion"])
 
 let write t ~context ~addr ~data k =
   let len = Bytes.length data in
@@ -124,29 +146,44 @@ let write t ~context ~addr ~data k =
               Memory.Phys_mem.write t.mem ~addr data;
               k (Ok ()))
 
-let write_from t ~context ~addr ~src ~pos ~len k =
+let[@cdna.hot] write_from t ~context ~addr ~src ~pos ~len k =
   if not (in_range t ~addr ~len) then k (Error `Bad_range)
   else if pos < 0 || len > Bytes.length src - pos then k (Error `Bad_range)
   else
     match iommu_check t ~context ~addr ~len with
-    | Error e -> k (Error (e :> fault))
+    | Error e ->
+        k (Error (e :> fault) [@cdna.alloc_ok "fault path, not steady state"])
     | Ok () ->
         if injected t ~context ~addr ~len then
-          submit t ~op:"write" ~context ~len (fun () -> k (Error `Injected))
+          submit t ~op:"write" ~context ~len
+            ((fun () -> k (Error `Injected))
+            [@cdna.alloc_ok "fault path, not steady state"])
         else
-          submit t ~op:"write" ~context ~len (fun () ->
-              Memory.Phys_mem.write_sub t.mem ~addr src ~pos ~len;
-              k (Ok ()))
+          submit t ~op:"write" ~context ~len
+            ((fun () ->
+               Memory.Phys_mem.write_sub t.mem ~addr src ~pos ~len;
+               k (Ok ()))
+            [@cdna.alloc_ok
+              "one completion closure per transfer: the unavoidable cost \
+               of deferred completion"])
 
-let access t ~context ~addr ~len k =
+let[@cdna.hot] access t ~context ~addr ~len k =
   if not (in_range t ~addr ~len) then k (Error `Bad_range)
   else
     match iommu_check t ~context ~addr ~len with
-    | Error e -> k (Error (e :> fault))
+    | Error e ->
+        k (Error (e :> fault) [@cdna.alloc_ok "fault path, not steady state"])
     | Ok () ->
         if injected t ~context ~addr ~len then
-          submit t ~op:"access" ~context ~len (fun () -> k (Error `Injected))
-        else submit t ~op:"access" ~context ~len (fun () -> k (Ok ()))
+          submit t ~op:"access" ~context ~len
+            ((fun () -> k (Error `Injected))
+            [@cdna.alloc_ok "fault path, not steady state"])
+        else
+          submit t ~op:"access" ~context ~len
+            ((fun () -> k (Ok ()))
+            [@cdna.alloc_ok
+              "one completion closure per transfer: the unavoidable cost \
+               of deferred completion"])
 
 let transfers t = t.transfers
 let bytes_moved t = t.bytes_moved

@@ -1,3 +1,8 @@
+[@@@cdna.privileged
+  "hypervisor core: validates and executes ownership transitions (pin, \
+   IOMMU grant/revoke) on behalf of guests; this is the trusted layer the \
+   P rules protect"]
+
 type dir = Tx | Rx
 
 type enqueue_error =

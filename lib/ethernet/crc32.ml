@@ -30,15 +30,15 @@ let tables =
 
 let init_crc = 0xFFFFFFFF
 
-let feed crc byte =
+let[@cdna.hot] feed crc byte =
   let t0 = (Lazy.force tables).(0) in
   Array.unsafe_get t0 ((crc lxor byte) land 0xff) lxor (crc lsr 8)
 
-let finish crc = crc lxor 0xFFFFFFFF
+let[@cdna.hot] finish crc = crc lxor 0xFFFFFFFF
 
-let digest_stream fold = finish (fold feed init_crc)
+let[@cdna.hot] digest_stream fold = finish (fold feed init_crc)
 
-let digest_sub b ~pos ~len =
+let[@cdna.hot] digest_sub b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Crc32.digest_sub: bad bounds";
   let tables = Lazy.force tables in
@@ -84,4 +84,4 @@ let digest_sub b ~pos ~len =
   done;
   finish !crc
 
-let digest b = digest_sub b ~pos:0 ~len:(Bytes.length b)
+let[@cdna.hot] digest b = digest_sub b ~pos:0 ~len:(Bytes.length b)

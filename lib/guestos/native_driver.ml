@@ -58,13 +58,20 @@ let write_tx_descriptor t frame =
   if t.materialize then begin
     let addr = page_addr pfn in
     match frame.Ethernet.Frame.data with
-    | Some d -> Memory.Phys_mem.write t.mem ~addr d
+    | Some d ->
+        (Memory.Phys_mem.write t.mem ~addr d
+        [@cdna.protection_ok
+          "native (non-virtualized) baseline: the OS owns all memory and \
+           writes its own DMA buffers directly"])
     | None ->
         if Bytes.length t.scratch < len then
           t.scratch <- Bytes.create (max len 2048);
         Ethernet.Frame.blit_payload ~seed:frame.Ethernet.Frame.payload_seed
           ~len t.scratch ~pos:0;
-        Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
+        (Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
+        [@cdna.protection_ok
+          "native (non-virtualized) baseline: the OS owns all memory and \
+           writes its own DMA buffers directly"])
   end;
   let evil =
     match t.malice with
@@ -151,7 +158,12 @@ let frame_from_buffer t (idx, frame) =
   else begin
     let pfn = t.rx_pages.(idx land (t.rx_slots - 1)) in
     let len = frame.Ethernet.Frame.payload_len in
-    let data = Memory.Phys_mem.read t.mem ~addr:(page_addr pfn) ~len in
+    let data =
+      (Memory.Phys_mem.read t.mem ~addr:(page_addr pfn) ~len
+      [@cdna.protection_ok
+        "native (non-virtualized) baseline: the OS owns all memory and \
+         reads its own DMA buffers directly"])
+    in
     { frame with Ethernet.Frame.data = Some data }
   end
 

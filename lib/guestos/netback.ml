@@ -21,6 +21,13 @@ let default_costs =
     rx_overflow_cap = 512;
   }
 
+(* Iterate an int-keyed table in ascending key order, so batch fan-outs
+   fire in a deterministic sequence regardless of hash-bucket layout. *)
+let iter_sorted tbl f =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (k, v) -> f k v)
+
 type iface = {
   guest_dom : Xen.Domain.t;
   guest_mac : Ethernet.Mac_addr.t;
@@ -332,7 +339,7 @@ and apply t c =
             ports
       | Bridge.Drop -> ())
     c.tx;
-  Hashtbl.iter (fun _ (nd, fs) -> Netdev.send nd (List.rev fs)) per_nd;
+  iter_sorted per_nd (fun _ (nd, fs) -> Netdev.send nd (List.rev fs));
   (* Deliveries to guests: flip a pool page carrying the payload in. *)
   List.iter
     (fun (iface, frame) ->
@@ -344,7 +351,11 @@ and apply t c =
           if t.materialize then begin
             let addr = Memory.Addr.base_of_pfn pfn in
             match frame.Ethernet.Frame.data with
-            | Some d -> Memory.Phys_mem.write t.mem ~addr d
+            | Some d ->
+                (Memory.Phys_mem.write t.mem ~addr d
+                [@cdna.protection_ok
+                  "driver-domain CPU store into its own exchange-pool page \
+                   before flipping it to the guest, not DMA"])
             | None ->
                 let len = frame.Ethernet.Frame.payload_len in
                 if Bytes.length t.scratch < len then
@@ -352,7 +363,10 @@ and apply t c =
                 Ethernet.Frame.blit_payload
                   ~seed:frame.Ethernet.Frame.payload_seed ~len t.scratch
                   ~pos:0;
-                Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
+                (Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
+                [@cdna.protection_ok
+                  "driver-domain CPU store into its own exchange-pool page \
+                   before flipping it to the guest, not DMA"])
           end;
           match
             Xen.Grant_table.flip t.hyp ~src:t.dom ~dst:iface.guest_dom pfn
@@ -375,8 +389,7 @@ and apply t c =
           | Error (`Not_owner | `Pinned) -> Queue.push pfn t.pool))
     c.rx;
   (* Push completion records and send one notification per touched guest. *)
-  Hashtbl.iter
-    (fun dom_id (count, pages) ->
+  iter_sorted completions (fun dom_id (count, pages) ->
       match
         List.find_opt
           (fun (i, _) -> Xen.Domain.id i.guest_dom = dom_id)
@@ -384,11 +397,9 @@ and apply t c =
       with
       | Some (iface, _) ->
           Xchan.push_tx_completion iface.xchan ~pages ~count
-      | None -> ())
-    completions;
-  Hashtbl.iter
-    (fun _ (iface, quiet) -> if quiet then iface.notify_frontend ())
-    touched
+      | None -> ());
+  iter_sorted touched (fun _ (iface, quiet) ->
+      if quiet then iface.notify_frontend ())
 
 and more_work t =
   Queue.length t.rx_inbox > 0

@@ -27,14 +27,19 @@ let post_kernel t ~cost fn = Xen.Hypervisor.kernel_work t.hyp t.dom ~cost fn
    the reused scratch buffer first. *)
 let write_payload t ~addr frame =
   match frame.Ethernet.Frame.data with
-  | Some d -> Memory.Phys_mem.write t.mem ~addr d
+  | Some d ->
+      (Memory.Phys_mem.write t.mem ~addr d
+      [@cdna.protection_ok
+        "guest CPU store into the guest's own granted pool page, not DMA"])
   | None ->
       let len = frame.Ethernet.Frame.payload_len in
       if Bytes.length t.scratch < len then
         t.scratch <- Bytes.create (max len 2048);
       Ethernet.Frame.blit_payload ~seed:frame.Ethernet.Frame.payload_seed ~len
         t.scratch ~pos:0;
-      Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
+      (Memory.Phys_mem.write_sub t.mem ~addr t.scratch ~pos:0 ~len
+      [@cdna.protection_ok
+        "guest CPU store into the guest's own granted pool page, not DMA"])
 
 let tx_space t =
   max 0
@@ -132,9 +137,12 @@ let rec handle_event t =
                 if t.materialize then begin
                   let f = e.Xchan.frame in
                   let data =
-                    Memory.Phys_mem.read t.mem
-                      ~addr:(Memory.Addr.base_of_pfn e.Xchan.pfn)
-                      ~len:f.Ethernet.Frame.payload_len
+                    (Memory.Phys_mem.read t.mem
+                       ~addr:(Memory.Addr.base_of_pfn e.Xchan.pfn)
+                       ~len:f.Ethernet.Frame.payload_len
+                    [@cdna.protection_ok
+                      "guest CPU load from a page the hypervisor just \
+                       flipped to this guest, not DMA"])
                   in
                   { f with Ethernet.Frame.data = Some data }
                 end

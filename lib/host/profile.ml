@@ -46,7 +46,9 @@ let total t cat =
       match Hashtbl.find_opt t.user d with Some r -> !r | None -> 0)
   | Idle -> t.explicit_idle
 
-let sum_tbl tbl = Hashtbl.fold (fun _ r acc -> Sim.Time.add acc !r) tbl 0
+let[@cdna.unordered_ok "commutative time sum; iteration order cannot change it"]
+    sum_tbl tbl =
+  Hashtbl.fold (fun _ r acc -> Sim.Time.add acc !r) tbl 0
 
 let busy t = Sim.Time.add t.hypervisor (Sim.Time.add (sum_tbl t.kernel) (sum_tbl t.user))
 
@@ -74,10 +76,15 @@ let report t ~window ~driver_domain =
   if window <= 0 then invalid_arg "Profile.report: non-positive window";
   let w = Sim.Time.to_sec_f window in
   let pct dt = Sim.Time.to_sec_f dt /. w *. 100. in
-  let split tbl =
+  let is_driver dom =
+    match driver_domain with Some d -> Int.equal d dom | None -> false
+  in
+  let[@cdna.unordered_ok
+       "two disjoint commutative sums; iteration order cannot change them"]
+      split tbl =
     Hashtbl.fold
       (fun dom r (drv, guest) ->
-        if Some dom = driver_domain then (Sim.Time.add drv !r, guest)
+        if is_driver dom then (Sim.Time.add drv !r, guest)
         else (drv, Sim.Time.add guest !r))
       tbl (0, 0)
   in

@@ -1,18 +1,41 @@
 type context_id = int
 
-type t = { table : (context_id * Addr.pfn, unit) Hashtbl.t }
+(* Entries are keyed by [(context lsl pfn_bits) lor pfn] packed into a
+   single immediate int: the permission check on every DMA transfer then
+   hashes and compares an unboxed int instead of allocating a tuple and
+   running the polymorphic hash over it. 32 bits of pfn covers 2^32 pages
+   (far beyond any simulated machine); contexts use the remaining bits. *)
+let pfn_bits = 32
+let pfn_mask = (1 lsl pfn_bits) - 1
+
+let pack ~context pfn =
+  if pfn < 0 || pfn > pfn_mask then invalid_arg "Iommu: pfn out of range";
+  if context < 0 then invalid_arg "Iommu: negative context";
+  (context lsl pfn_bits) lor pfn
+
+let context_of_key key = key lsr pfn_bits
+
+type t = { table : (int, unit) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 1024 }
 
 let grant t ~context pfn =
-  if not (Hashtbl.mem t.table (context, pfn)) then
-    Hashtbl.add t.table (context, pfn) ()
+  let key = pack ~context pfn in
+  if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key ()
 
-let revoke t ~context pfn = Hashtbl.remove t.table (context, pfn)
+let revoke t ~context pfn = Hashtbl.remove t.table (pack ~context pfn)
 
 let revoke_context t ~context =
-  Hashtbl.iter (fun (c, p) () -> if c = context then Hashtbl.remove t.table (c, p))
-    (Hashtbl.copy t.table)
+  let doomed =
+    Hashtbl.fold
+      (fun key () acc ->
+        if Int.equal (context_of_key key) context then key :: acc else acc)
+      t.table []
+    |> List.sort Int.compare
+  in
+  List.iter (Hashtbl.remove t.table) doomed
 
-let allowed t ~context pfn = Hashtbl.mem t.table (context, pfn)
+let[@cdna.hot] allowed t ~context pfn =
+  Hashtbl.mem t.table ((context lsl pfn_bits) lor pfn)
+
 let entries t = Hashtbl.length t.table

@@ -41,14 +41,14 @@ let create ~total_pages () =
 
 let total_pages t = t.total_pages
 let free_pages t = t.free_count
-let materialized_pages t = t.materialized_count
+let[@cdna.hot] materialized_pages t = t.materialized_count
 
-let is_materialized t pfn =
+let[@cdna.hot] is_materialized t pfn =
   Char.code (Bytes.unsafe_get t.materialized (pfn lsr 3))
   land (1 lsl (pfn land 7))
   <> 0
 
-let materialize t pfn =
+let[@cdna.hot] materialize t pfn =
   if not (is_materialized t pfn) then begin
     Bytes.unsafe_set t.materialized (pfn lsr 3)
       (Char.unsafe_chr
@@ -69,7 +69,7 @@ let dematerialize t pfn =
 
 (* Zero-fill-on-first-touch for every page the range overlaps. Called
    after the range has been validated. *)
-let touch_range t ~addr ~len =
+let[@cdna.hot] touch_range t ~addr ~len =
   if len > 0 then begin
     let first = addr lsr Addr.page_shift in
     let last = (addr + len - 1) lsr Addr.page_shift in
@@ -78,7 +78,7 @@ let touch_range t ~addr ~len =
     done
   end
 
-let page t pfn =
+let[@cdna.hot] page t pfn =
   if pfn < 0 || pfn >= t.total_pages then
     invalid_arg "Phys_mem.page: pfn out of range";
   Array.unsafe_get t.pages pfn
@@ -127,22 +127,22 @@ let put_ref t pfn =
 let owned_by t pfn dom =
   pfn >= 0 && pfn < t.total_pages && Page.is_owned_by (page t pfn) dom
 
-let valid_range t ~addr ~len =
+let[@cdna.hot] valid_range t ~addr ~len =
   len >= 0 && addr >= 0 && len <= t.total_bytes && addr <= t.total_bytes - len
 
-let check_range t ~addr ~len =
+let[@cdna.hot] check_range t ~addr ~len =
   if len < 0 then invalid_arg "Phys_mem: negative length";
   if addr < 0 || len > t.total_bytes || addr > t.total_bytes - len then
     invalid_arg "Phys_mem: address range out of bounds"
 
-let read_into t ~addr ~len dst ~pos =
+let[@cdna.hot] read_into t ~addr ~len dst ~pos =
   check_range t ~addr ~len;
   if pos < 0 || pos + len > Bytes.length dst then
     invalid_arg "Phys_mem.read_into: destination range out of bounds";
   touch_range t ~addr ~len;
   Bytes.blit t.data addr dst pos len
 
-let write_sub t ~addr src ~pos ~len =
+let[@cdna.hot] write_sub t ~addr src ~pos ~len =
   check_range t ~addr ~len;
   if pos < 0 || len < 0 || pos + len > Bytes.length src then
     invalid_arg "Phys_mem.write_sub: source range out of bounds";
@@ -154,12 +154,12 @@ let read t ~addr ~len =
   touch_range t ~addr ~len;
   Bytes.sub t.data addr len
 
-let write t ~addr data = write_sub t ~addr data ~pos:0 ~len:(Bytes.length data)
+let[@cdna.hot] write t ~addr data = write_sub t ~addr data ~pos:0 ~len:(Bytes.length data)
 
 (* Fixed-width little-endian accessors: one validated range check, then
    direct flat-store indexing — no intermediate buffers. *)
 
-let read_uint t ~addr ~bytes =
+let[@cdna.hot] read_uint t ~addr ~bytes =
   check_range t ~addr ~len:bytes;
   touch_range t ~addr ~len:bytes;
   let d = t.data in
@@ -169,7 +169,7 @@ let read_uint t ~addr ~bytes =
   in
   build (bytes - 1) 0
 
-let write_uint t ~addr ~bytes v =
+let[@cdna.hot] write_uint t ~addr ~bytes v =
   check_range t ~addr ~len:bytes;
   touch_range t ~addr ~len:bytes;
   let d = t.data in
@@ -177,21 +177,21 @@ let write_uint t ~addr ~bytes v =
     Bytes.unsafe_set d (addr + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
   done
 
-let read_u16 t ~addr =
+let[@cdna.hot] read_u16 t ~addr =
   check_range t ~addr ~len:2;
   touch_range t ~addr ~len:2;
   let d = t.data in
   Char.code (Bytes.unsafe_get d addr)
   lor (Char.code (Bytes.unsafe_get d (addr + 1)) lsl 8)
 
-let write_u16 t ~addr v =
+let[@cdna.hot] write_u16 t ~addr v =
   check_range t ~addr ~len:2;
   touch_range t ~addr ~len:2;
   let d = t.data in
   Bytes.unsafe_set d addr (Char.unsafe_chr (v land 0xff));
   Bytes.unsafe_set d (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
 
-let read_u32 t ~addr =
+let[@cdna.hot] read_u32 t ~addr =
   check_range t ~addr ~len:4;
   touch_range t ~addr ~len:4;
   let d = t.data in
@@ -200,7 +200,7 @@ let read_u32 t ~addr =
   lor (Char.code (Bytes.unsafe_get d (addr + 2)) lsl 16)
   lor (Char.code (Bytes.unsafe_get d (addr + 3)) lsl 24)
 
-let write_u32 t ~addr v =
+let[@cdna.hot] write_u32 t ~addr v =
   check_range t ~addr ~len:4;
   touch_range t ~addr ~len:4;
   let d = t.data in
@@ -209,7 +209,7 @@ let write_u32 t ~addr v =
   Bytes.unsafe_set d (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
   Bytes.unsafe_set d (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
 
-let read_u64 t ~addr =
+let[@cdna.hot] read_u64 t ~addr =
   check_range t ~addr ~len:8;
   touch_range t ~addr ~len:8;
   let d = t.data in
@@ -227,7 +227,7 @@ let read_u64 t ~addr =
   in
   lo lor (hi lsl 32)
 
-let write_u64 t ~addr v =
+let[@cdna.hot] write_u64 t ~addr v =
   check_range t ~addr ~len:8;
   touch_range t ~addr ~len:8;
   let d = t.data in

@@ -609,7 +609,10 @@ let deactivate t ~ctx:i =
   let c = ctx t i in
   if c.active || c.faulted then begin
     (match c.mac with
-    | Some mac when Hashtbl.find_opt t.mac_table mac = Some i ->
+    | Some mac
+      when match Hashtbl.find_opt t.mac_table mac with
+           | Some owner -> Int.equal owner i
+           | None -> false ->
         Hashtbl.remove t.mac_table mac
     | Some _ | None -> ());
     c.active <- false;
@@ -619,7 +622,10 @@ let deactivate t ~ctx:i =
     (* A packet abandoned mid-assembly holds a transmit-buffer
        reservation; release it here unless an in-flight fetch for this
        context will do so when its completion observes the epoch bump. *)
-    if c.sg_frag_descs > 0 && t.fetch_ctx <> Some c.id then
+    let fetch_serves_this_ctx =
+      match t.fetch_ctx with Some j -> Int.equal j c.id | None -> false
+    in
+    if c.sg_frag_descs > 0 && not fetch_serves_this_ctx then
       Pkt_buf.release t.tx_buf ~bytes:max_frame_bytes;
     Queue.iter
       (fun (frame, _) ->

@@ -27,19 +27,20 @@ let cancelled : unit -> unit = fun () -> ()
 let create () =
   { now = Time.zero; fired = 0; live = 0; queue = Heap.create ~dummy:dummy_fn }
 
-let now t = t.now
+let[@cdna.hot] now t = t.now
 let fired_count t = t.fired
 let pending_count t = Heap.length t.queue
 let live_pending_count t = t.live
 
-let schedule_at t time fn =
+let[@cdna.hot] schedule_at t time fn =
   if Time.compare time t.now < 0 then
     invalid_arg "Engine.schedule_at: time in the past";
   t.live <- t.live + 1;
   Heap.push_handle t.queue ~key:(Time.to_ns time) fn
 
-let schedule t ~delay fn =
-  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+let[@cdna.hot] schedule t ~delay fn =
+  if Time.compare delay Time.zero < 0 then
+    invalid_arg "Engine.schedule: negative delay";
   schedule_at t (Time.add t.now delay) fn
 
 let cancel t id =
@@ -49,42 +50,44 @@ let cancel t id =
       t.live <- t.live - 1
   | Some _ | None -> ()
 
-let[@inline] fire t ~time fn =
+let[@inline] [@cdna.hot] fire t ~time fn =
   t.now <- time;
   t.fired <- t.fired + 1;
   t.live <- t.live - 1;
   fn ()
 
-let step t =
-  let rec next () =
-    match Heap.min_key t.queue with
-    | None -> false
-    | Some k ->
-        let fn = Heap.pop_exn t.queue in
-        if fn == cancelled then next ()
-        else begin
-          fire t ~time:(Time.ns k) fn;
-          true
-        end
-  in
-  next ()
+(* Dispatch is built on the heap's [_exn] accessors guarded by
+   [is_empty], so draining an event allocates no option per iteration. *)
+let[@cdna.hot] rec step t =
+  if Heap.is_empty t.queue then false
+  else begin
+    let k = Heap.min_key_exn t.queue in
+    let fn = Heap.pop_exn t.queue in
+    if fn == cancelled then step t
+    else begin
+      fire t ~time:(Time.ns k) fn;
+      true
+    end
+  end
 
-let run t ~until =
-  let rec loop () =
-    match Heap.peek t.queue with
-    | Some fn when fn == cancelled ->
-        ignore (Heap.pop t.queue);
-        loop ()
-    | Some _ -> (
-        match Heap.min_key t.queue with
-        | Some k when Time.compare (Time.ns k) until <= 0 ->
-            let fn = Heap.pop_exn t.queue in
-            fire t ~time:(Time.ns k) fn;
-            loop ()
-        | Some _ | None -> t.now <- Time.max t.now until)
-    | None -> t.now <- Time.max t.now until
-  in
-  loop ()
+let[@cdna.hot] rec drain t ~until_ns =
+  if not (Heap.is_empty t.queue) then
+    if Heap.peek_exn t.queue == cancelled then begin
+      ignore (Heap.pop_exn t.queue : unit -> unit);
+      drain t ~until_ns
+    end
+    else begin
+      let k = Heap.min_key_exn t.queue in
+      if k <= until_ns then begin
+        let fn = Heap.pop_exn t.queue in
+        fire t ~time:(Time.ns k) fn;
+        drain t ~until_ns
+      end
+    end
+
+let[@cdna.hot] run t ~until =
+  drain t ~until_ns:(Time.to_ns until);
+  t.now <- Time.max t.now until
 
 let run_to_completion ?(limit = max_int) t =
   let rec loop n =

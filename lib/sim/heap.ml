@@ -53,8 +53,8 @@ let create ~dummy =
     next_seq = 0;
   }
 
-let length h = h.size
-let is_empty h = h.size = 0
+let[@cdna.hot] length h = h.size
+let[@cdna.hot] is_empty h = h.size = 0
 
 let grow h =
   let cap = Array.length h.vals in
@@ -80,8 +80,9 @@ let ensure_free h =
     h.free <- free
   end
 
-let push_handle h ~key v =
-  if h.size = Array.length h.vals then grow h;
+let[@cdna.hot] push_handle h ~key v =
+  if h.size = Array.length h.vals then
+    (grow h [@cdna.alloc_ok "amortized capacity doubling, not steady state"]);
   let slot =
     if h.free_top > 0 then begin
       let t = h.free_top - 1 in
@@ -119,9 +120,9 @@ let push_handle h ~key v =
   Array.unsafe_set nodes ((2 * !i) + 1) slot;
   (seq lsl slot_bits) lor slot
 
-let push h ~key v = ignore (push_handle h ~key v)
+let[@cdna.hot] push h ~key v = ignore (push_handle h ~key v)
 
-let[@inline] handle_live h handle =
+let[@inline] [@cdna.hot] handle_live h handle =
   let slot = handle land slot_mask in
   slot < Array.length h.seqs
   && Array.unsafe_get h.seqs slot = handle lsr slot_bits
@@ -131,22 +132,31 @@ let get h handle =
     Some (Array.unsafe_get h.vals (handle land slot_mask))
   else None
 
-let set h handle v =
+let[@cdna.hot] set h handle v =
   if handle_live h handle then begin
     Array.unsafe_set h.vals (handle land slot_mask) v;
     true
   end
   else false
 
-let peek h =
-  if h.size = 0 then None
-  else Some (Array.unsafe_get h.vals (Array.unsafe_get h.nodes 1))
+(* The [_exn] accessors are the primitives: they return unboxed results
+   and raise only off the steady-state path, so the engine's dispatch
+   loop never allocates an option per event. The option-returning
+   variants below wrap them for callers off the hot path. *)
 
-let min_key h =
-  if h.size = 0 then None else Some (Array.unsafe_get h.nodes 0)
+let[@cdna.hot] peek_exn h =
+  if h.size = 0 then invalid_arg "Heap.peek_exn: empty heap"
+  else Array.unsafe_get h.vals (Array.unsafe_get h.nodes 1)
 
-let pop h =
-  if h.size = 0 then None
+let[@cdna.hot] min_key_exn h =
+  if h.size = 0 then invalid_arg "Heap.min_key_exn: empty heap"
+  else Array.unsafe_get h.nodes 0
+
+let peek h = if h.size = 0 then None else Some (peek_exn h)
+let min_key h = if h.size = 0 then None else Some (min_key_exn h)
+
+let[@cdna.hot] pop_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty heap"
   else begin
     let nodes = h.nodes in
     let seqs = h.seqs in
@@ -156,7 +166,8 @@ let pop h =
        handle to it. *)
     Array.unsafe_set h.vals slot0 h.dummy;
     Array.unsafe_set seqs slot0 (-1);
-    ensure_free h;
+    (ensure_free h
+    [@cdna.alloc_ok "lazy one-time free-stack growth, not steady state"]);
     Array.unsafe_set h.free h.free_top slot0;
     h.free_top <- h.free_top + 1;
     let n = h.size - 1 in
@@ -208,13 +219,10 @@ let pop h =
       Array.unsafe_set nodes (2 * !i) lk;
       Array.unsafe_set nodes ((2 * !i) + 1) lv
     end;
-    Some v
+    v
   end
 
-let pop_exn h =
-  match pop h with
-  | Some v -> v
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+let pop h = if h.size = 0 then None else Some (pop_exn h)
 
 let clear h =
   h.size <- 0;

@@ -50,9 +50,22 @@ val min_key : 'a t -> int option
 (** [pop h] removes and returns the minimum element, or [None] when empty. *)
 val pop : 'a t -> 'a option
 
+(** The [_exn] accessors are the allocation-free primitives behind the
+    option-returning variants: guarded by {!is_empty}, an event-loop
+    iteration built on them allocates nothing. Each raises
+    [Invalid_argument] when the heap is empty. *)
+
 (** [pop_exn h] removes and returns the minimum element.
     @raise Invalid_argument when empty. *)
 val pop_exn : 'a t -> 'a
+
+(** [peek_exn h] is the minimum element.
+    @raise Invalid_argument when empty. *)
+val peek_exn : 'a t -> 'a
+
+(** [min_key_exn h] is the key of the minimum element.
+    @raise Invalid_argument when empty. *)
+val min_key_exn : 'a t -> int
 
 val clear : 'a t -> unit
 

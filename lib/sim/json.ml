@@ -75,6 +75,7 @@ let parse s =
   let pos = ref 0 in
   let fail msg = raise (Fail (msg, !pos)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal s.[!pos] c in
   let advance () = incr pos in
   let rec skip_ws () =
     match peek () with
@@ -153,7 +154,7 @@ let parse s =
   let parse_number () =
     let start = !pos in
     let is_float = ref false in
-    if peek () = Some '-' then advance ();
+    if peek_is '-' then advance ();
     let digits () =
       let saw = ref false in
       let rec d () =
@@ -168,7 +169,7 @@ let parse s =
       if not !saw then fail "expected digit"
     in
     digits ();
-    if peek () = Some '.' then begin
+    if peek_is '.' then begin
       is_float := true;
       advance ();
       digits ()
@@ -194,7 +195,7 @@ let parse s =
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then begin
+        if peek_is '}' then begin
           advance ();
           Obj []
         end
@@ -220,7 +221,7 @@ let parse s =
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then begin
+        if peek_is ']' then begin
           advance ();
           List []
         end

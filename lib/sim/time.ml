@@ -1,10 +1,10 @@
 type t = int
 
 let zero = 0
-let ns n = n
-let us n = n * 1_000
-let ms n = n * 1_000_000
-let sec n = n * 1_000_000_000
+let[@cdna.hot] ns n = n
+let[@cdna.hot] us n = n * 1_000
+let[@cdna.hot] ms n = n * 1_000_000
+let[@cdna.hot] sec n = n * 1_000_000_000
 
 let of_sec_f s =
   if not (Float.is_finite s) || s < 0. then
@@ -16,30 +16,30 @@ let of_us_f u =
     invalid_arg "Time.of_us_f: negative or non-finite";
   int_of_float (Float.round (u *. 1e3))
 
-let to_ns t = t
+let[@cdna.hot] to_ns t = t
 let to_sec_f t = float_of_int t /. 1e9
 let to_us_f t = float_of_int t /. 1e3
-let add = ( + )
-let sub = ( - )
-let diff a b = if a > b then a - b else 0
+let[@cdna.hot] add a b = a + b
+let[@cdna.hot] sub a b = a - b
+let[@cdna.hot] diff a b = if a > b then a - b else 0
 
-let mul_int d n =
+let[@cdna.hot] mul_int d n =
   if n < 0 then invalid_arg "Time.mul_int: negative factor";
   d * n
 
-let div_int d n =
+let[@cdna.hot] div_int d n =
   if n <= 0 then invalid_arg "Time.div_int: non-positive divisor";
   d / n
 
-let compare = Int.compare
-let equal = Int.equal
-let min = Stdlib.min
-let max = Stdlib.max
+let[@cdna.hot] compare (a : t) b = Int.compare a b
+let[@cdna.hot] equal (a : t) b = Int.equal a b
+let[@cdna.hot] min (a : t) b = if a < b then a else b
+let[@cdna.hot] max (a : t) b = if a > b then a else b
 
 let rate_per_sec ~events ~elapsed =
   if elapsed = 0 then 0. else float_of_int events /. to_sec_f elapsed
 
-let bits_time ~bits ~rate_bps =
+let[@cdna.hot] bits_time ~bits ~rate_bps =
   if rate_bps <= 0 then invalid_arg "Time.bits_time: non-positive rate";
   if bits < 0 then invalid_arg "Time.bits_time: negative bits";
   (* bits * 1e9 / rate could overflow a 63-bit int only for absurd sizes;

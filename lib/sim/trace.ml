@@ -166,7 +166,11 @@ module Recorder = struct
 
   let to_chrome_json t =
     let meta =
-      List.sort compare (List.rev t.names_rev) |> List.map metadata_event
+      List.sort
+        (fun (pa, na) (pb, nb) ->
+          match Int.compare pa pb with 0 -> String.compare na nb | c -> c)
+        (List.rev t.names_rev)
+      |> List.map metadata_event
     in
     let evs = List.rev_map json_of_event t.events_rev in
     Json.Obj

@@ -125,7 +125,11 @@ let on_rx t s frames =
               | `Rejected -> ())
           | None -> t.stray <- t.stray + 1)
         frames;
-      Hashtbl.iter (fun _ (conn, k) -> t.ack conn k) acks;
+      (* Ack flows in ascending flow-id order: the callback schedules
+         events, so fan-out order must not depend on hash layout. *)
+      Hashtbl.fold (fun flow v acc -> (flow, v) :: acc) acks []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.iter (fun (_, (conn, k)) -> t.ack conn k);
       ignore s)
 
 let add_stream t ~stack ~tx ~rx =
@@ -161,7 +165,8 @@ let on_credit t conn n =
 
 let consumed t = t.consumed
 
-let integrity_failures t =
+let[@cdna.unordered_ok "commutative int sum; iteration order cannot change it"]
+    integrity_failures t =
   Hashtbl.fold
     (fun _ c acc -> acc + Connection.integrity_failures c)
     t.by_flow 0

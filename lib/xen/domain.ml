@@ -20,7 +20,9 @@ let kind t = t.kind
 let entity t = t.entity
 let kernel t = Host.Category.Kernel t.id
 let user t = Host.Category.User t.id
-let pages t = Hashtbl.fold (fun p () acc -> p :: acc) t.page_set []
+let pages t =
+  Hashtbl.fold (fun p () acc -> p :: acc) t.page_set []
+  |> List.sort Int.compare
 let page_count t = Hashtbl.length t.page_set
 let virq_count t = t.virqs
 let reset_virq_count t = t.virqs <- 0

@@ -1,0 +1,3 @@
+(* A3: a hot body may only call hot functions or allowlisted primitives. *)
+let slow x = string_of_int x
+let[@cdna.hot] fast x = String.length (slow x)

@@ -1,0 +1,9 @@
+(* A2: anonymous closures capture and allocate; named local functions
+   compiled as direct calls do not. *)
+let[@cdna.hot] iter_twice f = f 0; f 1
+
+let[@cdna.hot] bad n = iter_twice (fun i -> ignore (i + n))
+
+let[@cdna.hot] good n =
+  let rec spin i = if i < n then spin (i + 1) in
+  spin 0

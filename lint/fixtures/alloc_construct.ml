@@ -1,0 +1,3 @@
+(* A1: structure construction inside a [@cdna.hot] body. *)
+let[@cdna.hot] minmax a b = if a < b then (a, b) else (b, a)
+let[@cdna.hot] wrap x = Some (x + 1)

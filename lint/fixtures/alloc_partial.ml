@@ -1,0 +1,3 @@
+(* A4: partial application of a known hot function builds a closure. *)
+let[@cdna.hot] add3 a b c = a + b + c
+let[@cdna.hot] stage a = add3 a 1

@@ -1,0 +1,8 @@
+(* D1: unsorted fold is flagged; the sorted variant is accepted. *)
+let keys_bad tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let keys_good tbl =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let keys_piped tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare

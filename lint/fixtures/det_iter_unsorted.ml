@@ -1,0 +1,2 @@
+(* D1: Hashtbl.iter in hash order feeding an output path. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d=%d\n" k v) tbl

@@ -1,0 +1,4 @@
+(* D3: wall clock, GC observation and Marshal are all nondeterministic. *)
+let seed () = int_of_float (Sys.time ())
+let words () = int_of_float (Gc.minor_words ())
+let blob x = Marshal.to_string x []

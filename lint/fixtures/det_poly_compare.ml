@@ -1,0 +1,4 @@
+(* D2: polymorphic compare/hash, and (=) on structured operands. *)
+let sort_pairs l = List.sort compare l
+let bucket x = Hashtbl.hash x
+let is_first x opt = opt = Some x

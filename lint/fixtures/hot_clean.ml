@@ -1,0 +1,9 @@
+(* A clean hot function: int arithmetic, allowlisted primitives, calls to
+   other hot functions — zero diagnostics expected. *)
+let[@cdna.hot] mask v = v land 0xff
+
+let[@cdna.hot] read16 b i =
+  Char.code (Bytes.unsafe_get b i)
+  lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 8)
+
+let[@cdna.hot] sum2 b i = mask (read16 b i) + mask i

@@ -1,0 +1,2 @@
+(* S1: a suppression without a reason string is itself a violation. *)
+let[@cdna.unordered_ok] total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

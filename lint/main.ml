@@ -1,0 +1,89 @@
+(* cdna_lint CLI.
+
+   Usage: main.exe [--json FILE] [--stats FILE] [--quiet] [DIR|FILE]...
+
+   Walks every [.ml] under the given roots (default: [lib]), runs the
+   checker, prints human-readable diagnostics, and exits non-zero if any
+   violation remains. [--json] writes the diagnostics and [--stats] the
+   run summary (rules hit, files scanned, suppression counts) as
+   deterministic Sim.Json documents, so CI can archive them and track
+   suppression counts over time. *)
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc entry -> collect_ml acc (Filename.concat path entry)) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let () =
+  let json_out = ref None in
+  let stats_out = ref None in
+  let quiet = ref false in
+  let roots = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: f :: rest ->
+        json_out := Some f;
+        parse_args rest
+    | "--stats" :: f :: rest ->
+        stats_out := Some f;
+        parse_args rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse_args rest
+    | ("--help" | "-h") :: _ ->
+        print_endline
+          "usage: cdna_lint [--json FILE] [--stats FILE] [--quiet] [PATH]...";
+        exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        prerr_endline ("cdna_lint: unknown option " ^ arg);
+        exit 2
+    | path :: rest ->
+        roots := path :: !roots;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots = if !roots = [] then [ "lib" ] else List.rev !roots in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        prerr_endline ("cdna_lint: no such path: " ^ r);
+        exit 2
+      end)
+    roots;
+  let files =
+    List.fold_left collect_ml [] roots
+    |> List.sort_uniq String.compare
+    |> List.map (fun p -> (p, read_file p))
+  in
+  let diags, stats = Cdna_lint.run files in
+  (match !json_out with
+  | Some f -> write_file f (Sim.Json.to_string (Cdna_lint.diags_to_json diags) ^ "\n")
+  | None -> ());
+  (match !stats_out with
+  | Some f -> write_file f (Sim.Json.to_string (Cdna_lint.stats_to_json stats) ^ "\n")
+  | None -> ());
+  List.iter (fun d -> print_endline (Cdna_lint.diag_to_string d)) diags;
+  if not !quiet then
+    Printf.printf
+      "cdna_lint: %d file(s), %d hot function(s), %d violation(s), %d \
+       suppression annotation(s)\n"
+      stats.Cdna_lint.files_scanned stats.Cdna_lint.hot_functions
+      stats.Cdna_lint.violations
+      (List.fold_left
+         (fun acc (_, n) -> acc + n)
+         0 stats.Cdna_lint.suppression_counts);
+  if diags <> [] then exit 1

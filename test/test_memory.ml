@@ -478,6 +478,42 @@ let test_iommu_idempotent_grant () =
   Memory.Iommu.revoke i ~context:1 5;
   check_bool "fully revoked" false (Memory.Iommu.allowed i ~context:1 5)
 
+let test_iommu_packed_keys () =
+  (* Entries are keyed by a packed (context, pfn) int: swapped pairs must
+     stay distinct, and out-of-range components must be rejected rather
+     than silently aliasing another entry. *)
+  let i = Memory.Iommu.create () in
+  Memory.Iommu.grant i ~context:1 2;
+  Memory.Iommu.grant i ~context:2 1;
+  check_int "distinct entries" 2 (Memory.Iommu.entries i);
+  check_bool "1/2 allowed" true (Memory.Iommu.allowed i ~context:1 2);
+  check_bool "2/1 allowed" true (Memory.Iommu.allowed i ~context:2 1);
+  check_bool "2/2 denied" false (Memory.Iommu.allowed i ~context:2 2);
+  Memory.Iommu.revoke i ~context:1 2;
+  check_bool "revoke is exact" true (Memory.Iommu.allowed i ~context:2 1);
+  (* A pfn with bits above the packing width would alias context bits. *)
+  Alcotest.check_raises "pfn out of range"
+    (Invalid_argument "Iommu: pfn out of range")
+    (fun () -> Memory.Iommu.grant i ~context:1 (1 lsl 32));
+  Alcotest.check_raises "negative pfn"
+    (Invalid_argument "Iommu: pfn out of range")
+    (fun () -> Memory.Iommu.grant i ~context:1 (-1));
+  Alcotest.check_raises "negative context"
+    (Invalid_argument "Iommu: negative context")
+    (fun () -> Memory.Iommu.grant i ~context:(-1) 4)
+
+let test_iommu_revoke_context_many () =
+  let i = Memory.Iommu.create () in
+  for pfn = 0 to 99 do
+    Memory.Iommu.grant i ~context:7 pfn;
+    if pfn mod 2 = 0 then Memory.Iommu.grant i ~context:8 pfn
+  done;
+  check_int "populated" 150 (Memory.Iommu.entries i);
+  Memory.Iommu.revoke_context i ~context:7;
+  check_int "only ctx8 left" 50 (Memory.Iommu.entries i);
+  check_bool "ctx7 denied" false (Memory.Iommu.allowed i ~context:7 42);
+  check_bool "ctx8 kept" true (Memory.Iommu.allowed i ~context:8 42)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -536,5 +572,8 @@ let suite =
         Alcotest.test_case "grant/revoke" `Quick test_iommu_grant_revoke;
         Alcotest.test_case "revoke context" `Quick test_iommu_revoke_context;
         Alcotest.test_case "idempotent grant" `Quick test_iommu_idempotent_grant;
+        Alcotest.test_case "packed keys" `Quick test_iommu_packed_keys;
+        Alcotest.test_case "revoke context many" `Quick
+          test_iommu_revoke_context_many;
       ] );
   ]

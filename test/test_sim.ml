@@ -73,7 +73,23 @@ let test_heap_empty () =
   check Alcotest.(option int) "min_key none" None (Sim.Heap.min_key h);
   check Alcotest.(option int) "pop none" None (Sim.Heap.pop h);
   Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
-    (fun () -> ignore (Sim.Heap.pop_exn h))
+    (fun () -> ignore (Sim.Heap.pop_exn h));
+  Alcotest.check_raises "peek_exn" (Invalid_argument "Heap.peek_exn: empty heap")
+    (fun () -> ignore (Sim.Heap.peek_exn h));
+  Alcotest.check_raises "min_key_exn"
+    (Invalid_argument "Heap.min_key_exn: empty heap") (fun () ->
+      ignore (Sim.Heap.min_key_exn h))
+
+let test_heap_exn_accessors () =
+  (* The option-free primitives must agree with their wrappers and leave
+     the heap untouched. *)
+  let h = Sim.Heap.create ~dummy:0 in
+  List.iter (fun v -> Sim.Heap.push h ~key:v v) [ 7; 4; 6 ];
+  check_int "min_key_exn" 4 (Sim.Heap.min_key_exn h);
+  check_int "peek_exn" 4 (Sim.Heap.peek_exn h);
+  check_int "peek does not pop" 3 (Sim.Heap.length h);
+  check_int "pop_exn" 4 (Sim.Heap.pop_exn h);
+  check_int "next min" 6 (Sim.Heap.min_key_exn h)
 
 let test_heap_clear () =
   let h = Sim.Heap.create ~dummy:0 in
@@ -574,6 +590,7 @@ let suite =
         Alcotest.test_case "ordering" `Quick test_heap_ordering;
         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "exn accessors" `Quick test_heap_exn_accessors;
         Alcotest.test_case "clear" `Quick test_heap_clear;
         Alcotest.test_case "pop releases value" `Quick test_heap_no_pin;
         qcheck prop_heap_sorts;

@@ -71,6 +71,21 @@ let test_domain_alloc_free () =
     (Invalid_argument "Hypervisor.free_page: domain does not own page")
     (fun () -> Xen.Hypervisor.free_page hyp other (List.nth extra 1))
 
+let test_domain_pages_sorted () =
+  (* [pages] must come back in ascending pfn order regardless of the
+     page-set hashtable's bucket layout: downstream fan-outs (grant
+     sweeps, teardown) iterate it and must be deterministic. *)
+  let _, _, _, _, hyp = fixture () in
+  let d =
+    Xen.Hypervisor.create_domain hyp ~name:"g" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:64
+  in
+  ignore (Xen.Hypervisor.alloc_pages hyp d 33);
+  let ps = Xen.Domain.pages d in
+  check_int "count" 97 (List.length ps);
+  check_bool "ascending" true
+    (List.for_all2 ( < ) ps (List.tl ps @ [ max_int ]))
+
 (* ---------- Work posting ---------- *)
 
 let test_hypercall_charged_to_hypervisor () =
@@ -221,6 +236,7 @@ let suite =
         Alcotest.test_case "creation" `Quick test_domain_creation;
         Alcotest.test_case "out of memory" `Quick test_domain_oom;
         Alcotest.test_case "alloc/free" `Quick test_domain_alloc_free;
+        Alcotest.test_case "pages sorted" `Quick test_domain_pages_sorted;
       ] );
     ( "xen.hypervisor",
       [
