@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json clean
+.PHONY: all build test lint check bench bench-json clean
 
 all: build
 
@@ -8,12 +8,23 @@ build:
 test:
 	dune runtest
 
-# Static checks (determinism / zero-alloc hot paths / protection
-# boundaries) over lib/. Also runs as part of `dune runtest`; this
-# target additionally writes the LINT_stats.json artifact so suppression
-# counts can be tracked over time.
+# Static checks over lib/: parsetree rules (determinism / zero-alloc
+# hot paths / protection boundaries) plus the interprocedural flow
+# verifier (guest-taint, transitive alloc, privilege reachability) over
+# the installed .cmt tree. Also runs as part of `dune runtest`; this
+# target additionally refreshes the LINT_stats.json artifact and fails
+# if any unsuppressed-violation or suppression count grew versus the
+# committed baseline (refresh deliberately by committing the new file).
 lint:
-	dune exec lint/main.exe -- --stats LINT_stats.json lib
+	dune build @install
+	dune exec lint/main.exe -- --stats LINT_stats.json \
+	  --flow _build/install/default/lib/cdna --gate LINT_stats.json lib
+
+# One-shot CI entry: build, full test suite, static analysis + gate.
+check:
+	dune build
+	dune runtest
+	$(MAKE) lint
 
 # Full Bechamel run: paper-table regeneration benchmarks + micro set.
 bench:

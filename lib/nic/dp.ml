@@ -218,7 +218,11 @@ let reserve_rx_bytes t bytes =
 (* Sequence-number continuity check (paper section 3.3). *)
 let seqno_ok ~expected ~got = got = expected mod seqno_mod
 
-let check_seqno t c dir (desc : Memory.Dma_desc.t) =
+(* The NIC-side admission point for guest descriptors: a descriptor that
+   passes continuity here is the one the hypervisor validated and
+   stamped (Hyp.enqueue), so cdna_flow treats this check as the
+   sanitizer on the device datapath. *)
+let[@cdna.sanitizer] check_seqno t c dir (desc : Memory.Dma_desc.t) =
   if not t.cfg.Nic_config.seqno_checking then true
   else begin
     let expected =

@@ -93,6 +93,7 @@ let all_rules =
   ]
 
 module SSet = Set.Make (String)
+module SMap = Map.Make (String)
 
 (* Suppression kinds, keyed by the attribute that activates them. *)
 let suppression_attrs =
@@ -339,6 +340,45 @@ class checker (ctx : context) (file : string) (local_toplevel : SSet.t)
     val mutable sorted_ok : expression list = []
     val mutable allowed_funs : expression list = []
 
+    (* [module H = Hashtbl] / [let module H = Hashtbl in ...]: local
+       name -> flattened target, so aliased calls cannot evade the
+       name-keyed rules (D1 etc.). *)
+    val mutable mod_aliases : string list SMap.t = SMap.empty
+
+    (* Rewrite the leading component of a qualified name through the
+       alias table ([H.iter] -> [Stdlib.Hashtbl.iter]); fuel-bounded in
+       case of degenerate self-aliases. *)
+    method private expand parts =
+      let rec go fuel = function
+        | first :: rest when fuel > 0 -> (
+            match SMap.find_opt first mod_aliases with
+            | Some target -> go (fuel - 1) (target @ rest)
+            | None -> first :: rest)
+        | parts -> parts
+      in
+      (* Only multi-component names can be module-qualified. *)
+      match parts with [] | [ _ ] -> parts | _ -> go 4 parts
+
+    method private record_alias (name : string option) (m : module_expr) =
+      match name with
+      | None -> ()
+      | Some name -> (
+          let rec target (m : module_expr) =
+            match m.pmod_desc with
+            | Pmod_ident { txt; _ } -> Some (flatten_lid txt)
+            | Pmod_constraint (m', _) -> target m'
+            | _ -> None
+          in
+          match target m with
+          | Some (_ :: _ as parts) ->
+              (* Expand at record time so chained aliases resolve. *)
+              mod_aliases <- SMap.add name (self#expand parts) mod_aliases
+          | _ -> ())
+
+    method! module_binding mb =
+      self#record_alias mb.pmb_name.txt mb.pmb_expr;
+      super#module_binding mb
+
     method private report (loc : Location.t) rule msg =
       if not (SSet.mem rule suppressed) then
         let p = loc.loc_start in
@@ -518,18 +558,26 @@ class checker (ctx : context) (file : string) (local_toplevel : SSet.t)
 
     method! expression e =
       let saved_hot = in_hot and saved_sup = suppressed in
+      let saved_aliases = mod_aliases in
       let rules = self#suppression_rules e.pexp_attributes in
       suppressed <- SSet.union suppressed (SSet.of_list rules);
+      (* A let-module alias scopes over the body walked below;
+         [saved_aliases] restores it on exit. *)
       (match e.pexp_desc with
-      | Pexp_ident { txt; loc } -> self#check_ident loc (flatten_lid txt)
+      | Pexp_letmodule (name, me, _) -> self#record_alias name.txt me
+      | _ -> ());
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+          self#check_ident loc (self#expand (flatten_lid txt))
       | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> begin
-          let parts = flatten_lid txt in
+          let parts = self#expand (flatten_lid txt) in
           let k2 = key2 parts and k1 = key1 parts in
           (* Mark arguments fed into a sort as order-safe. *)
           let mark_if_unordered (arg : expression) =
             match arg.pexp_desc with
             | Pexp_apply ({ pexp_desc = Pexp_ident { txt = f; _ }; _ }, _)
-              when SSet.mem (key2 (flatten_lid f)) unordered_fns ->
+              when SSet.mem (key2 (self#expand (flatten_lid f))) unordered_fns
+              ->
                 sorted_ok <- arg :: sorted_ok
             | _ -> ()
           in
@@ -541,7 +589,7 @@ class checker (ctx : context) (file : string) (local_toplevel : SSet.t)
                 match rhs.pexp_desc with
                 | Pexp_apply
                     ({ pexp_desc = Pexp_ident { txt = f; _ }; _ }, _)
-                  when SSet.mem (key2 (flatten_lid f)) sort_fns ->
+                  when SSet.mem (key2 (self#expand (flatten_lid f))) sort_fns ->
                     mark_if_unordered lhs
                 | _ -> ())
             | _ -> ()
@@ -552,7 +600,7 @@ class checker (ctx : context) (file : string) (local_toplevel : SSet.t)
                 match lhs.pexp_desc with
                 | Pexp_apply
                     ({ pexp_desc = Pexp_ident { txt = f; _ }; _ }, _)
-                  when SSet.mem (key2 (flatten_lid f)) sort_fns ->
+                  when SSet.mem (key2 (self#expand (flatten_lid f))) sort_fns ->
                     mark_if_unordered rhs
                 | _ -> ())
             | _ -> ()
@@ -630,7 +678,8 @@ class checker (ctx : context) (file : string) (local_toplevel : SSet.t)
       | _ -> ());
       super#expression e;
       in_hot <- saved_hot;
-      suppressed <- saved_sup
+      suppressed <- saved_sup;
+      mod_aliases <- saved_aliases
   end
 
 (* ------------------------------------------------------------------ *)

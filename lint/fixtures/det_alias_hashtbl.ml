@@ -1,0 +1,13 @@
+(* D1 must not be evadable by renaming the module: a top-level alias, a
+   let-module alias, and a fully qualified Stdlib path all iterate in
+   hash order. Expected: three D1 hits. *)
+
+module HH = Hashtbl
+
+let sum_top tbl = HH.fold (fun _ v acc -> acc + v) tbl 0
+
+let sum_local tbl =
+  let module H = Hashtbl in
+  H.fold (fun _ v acc -> acc + v) tbl 0
+
+let walk tbl f = Stdlib.Hashtbl.iter f tbl

@@ -1,0 +1,14 @@
+(* Clean: a hot entry whose transitive callees stay allocation-free —
+   tail-recursive arithmetic, in-place byte writes, and allowlisted
+   Bytes calls only. *)
+
+let rec checksum_from buf acc i =
+  if i >= Bytes.length buf then acc land 0xffff
+  else checksum_from buf (acc + Char.code (Bytes.get buf i)) (i + 1)
+
+let stamp buf v = Bytes.set buf 0 (Char.chr (v land 0xff))
+
+let[@cdna.hot] pump buf =
+  let c = checksum_from buf 0 0 in
+  stamp buf c;
+  c

@@ -1,0 +1,8 @@
+(* The declared hypercall surface of the fixture world: privileged, so
+   paths that cross it are legitimate (the behavioral twin of
+   [Hyp.enqueue] validating before granting). *)
+
+[@@@cdna.privileged]
+
+let grant_validated iommu pfn =
+  if pfn land 1 = 0 then Flow_env.Iommu.grant iommu pfn

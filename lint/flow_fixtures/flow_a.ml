@@ -1,0 +1,4 @@
+(* Stage 1 of the multi-module taint chain: reads a descriptor word out
+   of guest-visible memory and returns it raw. *)
+
+let fetch_slot mem slot = Flow_env.Phys_mem.read_uint mem ~addr:(slot * 16) ~len:8

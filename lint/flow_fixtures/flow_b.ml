@@ -1,0 +1,7 @@
+(* Stage 2 of the multi-module taint chain: forwards Flow_a's raw guest
+   word into Flow_c's sink wrapper. The violation spans three modules;
+   the report must carry every hop. *)
+
+let pump mem dma slot =
+  let addr = Flow_a.fetch_slot mem slot in
+  Flow_c.dma_at dma ~addr

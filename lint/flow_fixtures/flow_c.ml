@@ -1,0 +1,4 @@
+(* Stage 3 of the multi-module taint chain: an innocent-looking helper
+   whose parameter flows straight into the DMA engine. *)
+
+let dma_at dma ~addr = Flow_env.Dma_engine.access dma ~addr ~len:1514

@@ -1,0 +1,10 @@
+(* A6 through a module alias: the hot entry never allocates itself, but
+   its helper maps a list through [L] = [List] — an allocation the
+   syntactic rules cannot see (alias) at a depth they do not reach
+   (one call down). *)
+
+module L = List
+
+let bump xs = L.map (fun x -> x + 1) xs
+
+let[@cdna.hot] pump xs = ignore (bump xs)

@@ -1,0 +1,10 @@
+(* A6 two calls deep: hot -> relay -> quiet helper that boxes a pair.
+   Only the transitive closure sees it. *)
+
+let pack a b = (a, b)
+
+let relay a b = pack a b
+
+let[@cdna.hot] pump a b =
+  let p = relay a b in
+  ignore p

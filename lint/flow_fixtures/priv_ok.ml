@@ -1,0 +1,7 @@
+(* Clean: the same nic-layer shape as priv_reach, but the ownership
+   mutation happens inside the privileged hypercall surface — the path
+   stops at the boundary and no violation is reported. *)
+
+[@@@cdna.layer "nic"]
+
+let handle_doorbell iommu pfn = Fixture_hyp.grant_validated iommu pfn

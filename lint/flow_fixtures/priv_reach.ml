@@ -1,0 +1,9 @@
+(* P3: a "nic"-layer entry point reaching an ownership-mutating IOMMU
+   operation through a local helper, without crossing the declared
+   hypercall surface. *)
+
+[@@@cdna.layer "nic"]
+
+let self_grant iommu pfn = Flow_env.Iommu.grant iommu pfn
+
+let handle_doorbell iommu pfn = self_grant iommu pfn

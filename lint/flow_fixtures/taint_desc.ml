@@ -1,0 +1,6 @@
+(* T2: forging a DMA descriptor — guest-controlled bytes become the
+   addr/len of a [Dma_desc.t] under construction. *)
+
+let forge mem =
+  let guest_addr = Flow_env.Phys_mem.read_uint mem ~addr:0 ~len:8 in
+  { Flow_env.Dma_desc.addr = guest_addr; len = 4096; flags = 0; seqno = 0 }

@@ -1,0 +1,6 @@
+(* T1: the straight-line violation — a guest-readable word used as a DMA
+   address with no sanitizer in between. *)
+
+let pump mem dma =
+  let addr = Flow_env.Phys_mem.read_uint mem ~addr:0 ~len:8 in
+  Flow_env.Dma_engine.access dma ~addr ~len:64

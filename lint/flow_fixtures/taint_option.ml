@@ -1,0 +1,12 @@
+(* T1 laundering attempt: taint must survive an option wrap and a match
+   destructure. *)
+
+let pump mem dma =
+  let staged =
+    if Sys.word_size = 64 then
+      Some (Flow_env.Phys_mem.read_uint mem ~addr:8 ~len:8)
+    else None
+  in
+  match staged with
+  | Some addr -> Flow_env.Dma_engine.access dma ~addr ~len:64
+  | None -> ()

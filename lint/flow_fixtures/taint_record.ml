@@ -1,0 +1,9 @@
+(* T1 laundering attempt: taint must survive a user-defined record
+   (field-sensitively — the clean [tag] field must not trip the sink). *)
+
+type box = { payload : int; tag : int }
+
+let pump mem dma =
+  let b = { payload = Flow_env.Phys_mem.read_uint mem ~addr:16 ~len:8; tag = 0 } in
+  Flow_env.Phys_mem.write_uint mem ~addr:b.payload ~len:4 b.tag;
+  Flow_env.Dma_engine.access dma ~addr:b.tag ~len:64

@@ -1,0 +1,13 @@
+(* Clean: the same shapes as the violating fixtures, but every guest
+   value passes a declared sanitizer before reaching a sink. Must
+   produce zero reports. *)
+
+let pump_iommu mem dma iommu =
+  let pfn = Flow_env.Phys_mem.read_uint mem ~addr:0 ~len:8 in
+  if Flow_env.Iommu.allowed iommu ~context:1 pfn then
+    Flow_env.Dma_engine.access dma ~addr:(pfn * 4096) ~len:64
+
+let pump_seqno mem dma =
+  let got = Flow_env.Phys_mem.read_uint mem ~addr:8 ~len:2 in
+  if Flow_env.Seqno.continuous ~expected:3 ~got then
+    Flow_env.Dma_engine.access dma ~addr:got ~len:64

@@ -1,0 +1,7 @@
+(* T1 laundering attempt: taint must survive packing into and projecting
+   out of a tuple. *)
+
+let pump mem dma =
+  let pair = (Flow_env.Phys_mem.read_uint mem ~addr:0 ~len:8, 4096) in
+  let addr, len = pair in
+  Flow_env.Dma_engine.access dma ~addr ~len

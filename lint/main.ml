@@ -1,13 +1,34 @@
-(* cdna_lint CLI.
+(* cdna_lint / cdna_flow CLI.
 
-   Usage: main.exe [--json FILE] [--stats FILE] [--quiet] [DIR|FILE]...
+   Usage:
+     main.exe [--json FILE] [--stats FILE] [--quiet] [--format text|github]
+              [--flow CMT_DIR] [--gate BASELINE] [DIR|FILE]...
 
-   Walks every [.ml] under the given roots (default: [lib]), runs the
-   checker, prints human-readable diagnostics, and exits non-zero if any
-   violation remains. [--json] writes the diagnostics and [--stats] the
-   run summary (rules hit, files scanned, suppression counts) as
-   deterministic Sim.Json documents, so CI can archive them and track
-   suppression counts over time. *)
+   Walks every [.ml] under the given roots (default: [lib]) through the
+   parsetree checker; with [--flow] additionally runs the interprocedural
+   typedtree verifier over the compiled [.cmt] tree rooted at CMT_DIR.
+
+   Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+   [--format github] emits `::error file=...,line=...::msg` annotations
+   for CI logs instead of the human-readable report.
+
+   [--json] writes the parsetree diagnostics and [--stats] the combined
+   run summary (rules hit, files scanned, suppression counts, flow
+   report) as deterministic Sim.Json documents so CI can archive them.
+
+   [--gate BASELINE] is the suppression-drift gate: after computing the
+   current stats it fails (exit 1) if the unsuppressed-violation count or
+   any suppression count grew versus the committed BASELINE file. *)
+
+let usage =
+  "usage: cdna_lint [--json FILE] [--stats FILE] [--quiet] [--format \
+   text|github] [--flow CMT_DIR] [--gate BASELINE] [PATH]..."
+
+let usage_error msg =
+  prerr_endline ("cdna_lint: " ^ msg);
+  prerr_endline usage;
+  exit 2
 
 let rec collect_ml acc path =
   if Sys.is_directory path then
@@ -28,10 +49,106 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
+let github_escape s =
+  (* The workflow-command grammar reserves %, CR and LF in messages. *)
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Suppression-drift gate                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_int ?(default = 0) j path =
+  let rec walk j = function
+    | [] -> ( match j with Sim.Json.Int n -> Some n | _ -> None)
+    | k :: rest -> (
+        match j with
+        | Sim.Json.Obj fields -> (
+            match List.assoc_opt k fields with
+            | Some j' -> walk j' rest
+            | None -> None)
+        | _ -> None)
+  in
+  match walk j path with Some n -> n | None -> default
+
+let json_obj_total j path =
+  match
+    let rec walk j = function
+      | [] -> Some j
+      | k :: rest -> (
+          match j with
+          | Sim.Json.Obj fields -> (
+              match List.assoc_opt k fields with
+              | Some j' -> walk j' rest
+              | None -> None)
+          | _ -> None)
+    in
+    walk j path
+  with
+  | Some (Sim.Json.Obj fields) ->
+      List.fold_left
+        (fun acc (_, v) -> match v with Sim.Json.Int n -> acc + n | _ -> acc)
+        0 fields
+  | _ -> 0
+
+(* Fails when a tracked count in [current] exceeds the committed
+   [baseline]: new unsuppressed violations or new suppression
+   annotations both require a deliberate baseline refresh. *)
+let run_gate ~baseline_path current =
+  let baseline =
+    match Sim.Json.parse (read_file baseline_path) with
+    | Ok j -> j
+    | Error _ | (exception Sys_error _) ->
+        prerr_endline
+          ("cdna_lint: cannot read gate baseline " ^ baseline_path);
+        exit 2
+  in
+  let checks =
+    [
+      ("violations", json_int baseline [ "violations" ],
+       json_int current [ "violations" ]);
+      ("suppressions (total)", json_obj_total baseline [ "suppressions" ],
+       json_obj_total current [ "suppressions" ]);
+      ("flow violations", json_int baseline [ "flow"; "violations" ],
+       json_int current [ "flow"; "violations" ]);
+      ("flow suppressions", json_int baseline [ "flow"; "suppressions" ],
+       json_int current [ "flow"; "suppressions" ]);
+    ]
+  in
+  let drifted =
+    List.filter_map
+      (fun (what, base, cur) ->
+        if cur > base then Some (what, base, cur) else None)
+      checks
+  in
+  List.iter
+    (fun (what, base, cur) ->
+      Printf.eprintf
+        "cdna_lint: gate: %s grew from %d to %d (refresh %s deliberately \
+         if intended)\n"
+        what base cur baseline_path)
+    drifted;
+  drifted = []
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
 let () =
   let json_out = ref None in
   let stats_out = ref None in
   let quiet = ref false in
+  let format = ref `Text in
+  let flow_root = ref None in
+  let gate = ref None in
   let roots = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -41,16 +158,28 @@ let () =
     | "--stats" :: f :: rest ->
         stats_out := Some f;
         parse_args rest
+    | "--flow" :: d :: rest ->
+        flow_root := Some d;
+        parse_args rest
+    | "--gate" :: f :: rest ->
+        gate := Some f;
+        parse_args rest
+    | "--format" :: f :: rest ->
+        (match f with
+        | "text" -> format := `Text
+        | "github" -> format := `Github
+        | other -> usage_error ("unknown format " ^ other));
+        parse_args rest
     | "--quiet" :: rest ->
         quiet := true;
         parse_args rest
     | ("--help" | "-h") :: _ ->
-        print_endline
-          "usage: cdna_lint [--json FILE] [--stats FILE] [--quiet] [PATH]...";
+        print_endline usage;
         exit 0
+    | [ ("--json" | "--stats" | "--flow" | "--gate" | "--format") ] ->
+        usage_error "missing option argument"
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
-        prerr_endline ("cdna_lint: unknown option " ^ arg);
-        exit 2
+        usage_error ("unknown option " ^ arg)
     | path :: rest ->
         roots := path :: !roots;
         parse_args rest
@@ -59,10 +188,8 @@ let () =
   let roots = if !roots = [] then [ "lib" ] else List.rev !roots in
   List.iter
     (fun r ->
-      if not (Sys.file_exists r) then begin
-        prerr_endline ("cdna_lint: no such path: " ^ r);
-        exit 2
-      end)
+      if not (Sys.file_exists r) then
+        usage_error ("no such path: " ^ r))
     roots;
   let files =
     List.fold_left collect_ml [] roots
@@ -70,14 +197,75 @@ let () =
     |> List.map (fun p -> (p, read_file p))
   in
   let diags, stats = Cdna_lint.run files in
+  let flow_report =
+    match !flow_root with
+    | None -> None
+    | Some d -> (
+        match Cdna_flow.analyze d with
+        | r -> Some r
+        | exception Cdna_flow.Flow_error msg ->
+            prerr_endline ("cdna_flow: " ^ msg);
+            exit 2)
+  in
+  (* Reports. *)
+  (match !format with
+  | `Text ->
+      List.iter (fun d -> print_endline (Cdna_lint.diag_to_string d)) diags;
+      Option.iter
+        (fun r ->
+          List.iter
+            (fun v -> print_endline (Cdna_flow.violation_to_string v))
+            r.Cdna_flow.violations)
+        flow_report
+  | `Github ->
+      List.iter
+        (fun d ->
+          Printf.printf "::error file=%s,line=%d,col=%d::[%s] %s\n"
+            d.Cdna_lint.file d.Cdna_lint.line d.Cdna_lint.col
+            d.Cdna_lint.rule
+            (github_escape d.Cdna_lint.msg))
+        diags;
+      Option.iter
+        (fun r ->
+          List.iter
+            (fun v ->
+              let chain =
+                String.concat "\n"
+                  (List.mapi
+                     (fun i h ->
+                       Printf.sprintf "%d. %s at %s:%d" (i + 1)
+                         h.Cdna_flow.hop_what h.Cdna_flow.hop_file
+                         h.Cdna_flow.hop_line)
+                     v.Cdna_flow.chain)
+              in
+              Printf.printf "::error file=%s,line=%d::[%s] %s\n"
+                v.Cdna_flow.file v.Cdna_flow.line v.Cdna_flow.rule
+                (github_escape (v.Cdna_flow.msg ^ "\n" ^ chain)))
+            r.Cdna_flow.violations)
+        flow_report);
+  (* Artifacts. *)
+  let stats_json =
+    let base = Cdna_lint.stats_to_json stats in
+    match (flow_report, base) with
+    | Some r, Sim.Json.Obj fields ->
+        Sim.Json.Obj (fields @ [ ("flow", Cdna_flow.report_to_json r) ])
+    | _, j -> j
+  in
+  (* Gate before writing artifacts: [--stats] may legitimately point at
+     the same file as [--gate], refreshing the baseline only after the
+     comparison against the committed copy has been made. *)
+  let gate_ok =
+    match !gate with
+    | Some baseline_path -> run_gate ~baseline_path stats_json
+    | None -> true
+  in
   (match !json_out with
   | Some f -> write_file f (Sim.Json.to_string (Cdna_lint.diags_to_json diags) ^ "\n")
   | None -> ());
   (match !stats_out with
-  | Some f -> write_file f (Sim.Json.to_string (Cdna_lint.stats_to_json stats) ^ "\n")
+  | Some f -> write_file f (Sim.Json.to_string stats_json ^ "\n")
   | None -> ());
-  List.iter (fun d -> print_endline (Cdna_lint.diag_to_string d)) diags;
-  if not !quiet then
+  if not !quiet then begin
     Printf.printf
       "cdna_lint: %d file(s), %d hot function(s), %d violation(s), %d \
        suppression annotation(s)\n"
@@ -86,4 +274,20 @@ let () =
       (List.fold_left
          (fun acc (_, n) -> acc + n)
          0 stats.Cdna_lint.suppression_counts);
-  if diags <> [] then exit 1
+    Option.iter
+      (fun r ->
+        Printf.printf
+          "cdna_flow: %d cmt file(s), %d function(s), %d violation(s), %d \
+           suppressed, %d sanitizer(s)\n"
+          r.Cdna_flow.cmt_files r.Cdna_flow.functions
+          (List.length r.Cdna_flow.violations)
+          (List.length r.Cdna_flow.suppressed)
+          r.Cdna_flow.sanitizer_fns)
+      flow_report
+  end;
+  let flow_dirty =
+    match flow_report with
+    | Some r -> r.Cdna_flow.violations <> []
+    | None -> false
+  in
+  if diags <> [] || flow_dirty || not gate_ok then exit 1

@@ -32,6 +32,13 @@ let test_fold_unsorted () =
   check_rules "fold flagged once" ~pretend_path:"lib/foo/a.ml"
     "det_fold_unsorted.ml" [ "D1-unordered-iter" ]
 
+let test_alias_hashtbl () =
+  (* Aliasing must not launder hash-order iteration: top-level alias,
+     let-module alias, and explicit Stdlib qualification all count. *)
+  check_rules "aliased Hashtbl flagged" ~pretend_path:"lib/foo/a.ml"
+    "det_alias_hashtbl.ml"
+    [ "D1-unordered-iter"; "D1-unordered-iter"; "D1-unordered-iter" ]
+
 let test_poly_compare () =
   check_rules "poly compare" ~pretend_path:"lib/foo/a.ml" "det_poly_compare.ml"
     [ "D2-poly-compare"; "D2-poly-compare"; "D2-poly-compare" ]
@@ -149,6 +156,7 @@ let () =
           Alcotest.test_case "iter unsorted" `Quick test_iter_unsorted;
           Alcotest.test_case "fold unsorted vs sorted" `Quick
             test_fold_unsorted;
+          Alcotest.test_case "aliased Hashtbl" `Quick test_alias_hashtbl;
           Alcotest.test_case "poly compare" `Quick test_poly_compare;
           Alcotest.test_case "nondet primitives" `Quick test_nondet;
         ] );
