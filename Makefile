@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-json clean
+.PHONY: all build test lint check bench bench-json bench-macro clean
 
 all: build
 
@@ -36,6 +36,13 @@ bench:
 #   dune exec bench/main.exe -- --json bench/baseline.json --quota 0.5
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_micro.json --gate bench/baseline.json
+
+# End-to-end sharded-engine benchmark: wall-clock and events/sec for the
+# same 4-host scenario at shards 1 and 4, gated >2x against the
+# committed baseline. Refresh after an intentional performance change:
+#   dune exec bench/main.exe -- --macro bench/baseline_macro.json
+bench-macro:
+	dune exec bench/main.exe -- --macro BENCH_macro.json --macro-gate bench/baseline_macro.json
 
 clean:
 	dune clean

@@ -32,7 +32,7 @@ let engine_events_fn () =
   ignore (Sim.Engine.run_to_completion e)
 
 let heap_churn_fn () =
-  let h = Sim.Heap.create ~dummy:0 in
+  let h = Sim.Heap.create ~dummy:0 () in
   for i = 0 to 999 do
     let v = (i * 7919) land 1023 in
     Sim.Heap.push h ~key:v v
@@ -351,6 +351,60 @@ let arg_value flag =
   in
   find 1
 
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_json_file ~out entries =
+  let oc = open_out out in
+  output_string oc (Sim.Json.to_string (Sim.Json.Obj entries));
+  output_char oc '\n';
+  close_out oc
+
+let json_number = function
+  | Some (Sim.Json.Float f) -> Some f
+  | Some (Sim.Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let gate_factor = 2.0
+
+(* Shared ns_per_run gate: compare [parsed] against the committed
+   baseline and exit 1 on any regression beyond [gate_factor]. *)
+let gate_ns ~label ~subject_names ~baseline_path parsed =
+  let baseline =
+    match Sim.Json.parse (read_file baseline_path) with
+    | Error e -> failwith (label ^ " gate: bad baseline JSON: " ^ e)
+    | Ok v -> v
+  in
+  let ns_of doc name =
+    Option.bind (Sim.Json.member name doc) (fun e ->
+        json_number (Sim.Json.member "ns_per_run" e))
+  in
+  let regressions =
+    List.filter_map
+      (fun name ->
+        match (ns_of baseline name, ns_of parsed name) with
+        | Some base, Some now when base > 0. && now > gate_factor *. base ->
+            Some (name, base, now)
+        | _ -> None)
+      subject_names
+  in
+  List.iter
+    (fun (name, base, now) ->
+      Printf.printf
+        "%s gate: REGRESSION %s: %.0f ns/run vs baseline %.0f (>%.1fx)\n"
+        label name now base gate_factor)
+    regressions;
+  match regressions with
+  | [] ->
+      Printf.printf "%s gate: all %d subjects within %.1fx of %s\n" label
+        (List.length subject_names)
+        gate_factor baseline_path
+  | _ :: _ -> exit 1
+
 let minor_words_per_run fn =
   fn ();
   (* warm: lazy tables, buffer growth *)
@@ -360,8 +414,6 @@ let minor_words_per_run fn =
     fn ()
   done;
   (Gc.minor_words () -. before) /. float_of_int n
-
-let gate_factor = 2.0
 
 let json_mode ~out ~gate ~quota_s =
   let rows = estimate_ns ~quota_s micro_tests in
@@ -382,19 +434,9 @@ let json_mode ~out ~gate ~quota_s =
             ] ))
       micro_subjects
   in
-  let oc = open_out out in
-  output_string oc (Sim.Json.to_string (Sim.Json.Obj entries));
-  output_char oc '\n';
-  close_out oc;
-  let reread =
-    let ic = open_in out in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
+  write_json_file ~out entries;
   let parsed =
-    match Sim.Json.parse reread with
+    match Sim.Json.parse (read_file out) with
     | Error e -> failwith ("bench --json: emitted invalid JSON: " ^ e)
     | Ok v -> v
   in
@@ -402,43 +444,86 @@ let json_mode ~out ~gate ~quota_s =
   (match gate with
   | None -> ()
   | Some baseline_path ->
-      let baseline =
-        let ic = open_in baseline_path in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        match Sim.Json.parse s with
-        | Error e -> failwith ("bench --gate: bad baseline JSON: " ^ e)
-        | Ok v -> v
-      in
-      let number = function
-        | Some (Sim.Json.Float f) -> Some f
-        | Some (Sim.Json.Int i) -> Some (float_of_int i)
-        | _ -> None
-      in
-      let ns_of doc name =
-        Option.bind (Sim.Json.member name doc) (fun e ->
-            number (Sim.Json.member "ns_per_run" e))
-      in
-      let regressions =
-        List.filter_map
-          (fun (name, _) ->
-            match (ns_of baseline name, ns_of parsed name) with
-            | Some base, Some now when base > 0. && now > gate_factor *. base ->
-                Some (name, base, now)
-            | _ -> None)
-          micro_subjects
-      in
-      List.iter
-        (fun (name, base, now) ->
-          Printf.printf
-            "bench gate: REGRESSION %s: %.0f ns/run vs baseline %.0f (>%.1fx)\n"
-            name now base gate_factor)
-        regressions;
-      if regressions = [] then
-        Printf.printf "bench gate: all %d subjects within %.1fx of %s\n"
-          (List.length entries) gate_factor baseline_path
-      else exit 1);
+      gate_ns ~label:"bench" ~subject_names:(List.map fst micro_subjects)
+        ~baseline_path parsed);
+  exit 0
+
+(* ---------- --macro: end-to-end sharded-engine benchmark + gate ----------
+
+   [--macro FILE] times complete multi-host runs on the sharded engine —
+   the same scenario at shard counts 1 and 4 — reporting wall-clock per
+   run and simulation events per wall-second. Honest numbers: on a
+   single-core container both shard counts execute on one worker domain
+   and the speedup column is ~1.0; on a multicore host the shards=4 row
+   reflects real Domain-level parallelism. [--macro-gate BASELINE]
+   applies the same >2x ns_per_run regression gate as the micro set. *)
+
+let macro_hosts = 4
+
+let macro_cfg =
+  {
+    Experiments.Config.default with
+    Experiments.Config.system = Experiments.Config.Cdna_sys;
+    nic = Experiments.Config.Ricenic;
+    guests = 1;
+    nics = 1;
+    warmup = Sim.Time.ms 1;
+    duration = Sim.Time.ms 4;
+  }
+
+(* One timed run: total simulation events fired during measurement plus
+   the wall-clock for the whole build+run. *)
+let macro_once ~shards () =
+  let t0 = Unix.gettimeofday () in
+  let rep, _ = Experiments.Multihost.run ~shards ~hosts:macro_hosts macro_cfg in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events =
+    List.fold_left
+      (fun acc (m : Experiments.Run.measurement) ->
+        acc + m.Experiments.Run.events_fired)
+      0 rep.Experiments.Multihost.measurements
+  in
+  (wall_s, events)
+
+let macro_subjects =
+  [
+    ("macro/multihost4-shards1", macro_once ~shards:1);
+    ("macro/multihost4-shards4", macro_once ~shards:4);
+  ]
+
+let macro_mode ~out ~gate =
+  let entries =
+    List.map
+      (fun (name, fn) ->
+        (* Warm once (lazy tables, allocator growth), then best of two. *)
+        ignore (fn ());
+        let w1, events = fn () in
+        let w2, _ = fn () in
+        let wall_s = Float.min w1 w2 in
+        let eps = if wall_s > 0. then float_of_int events /. wall_s else 0. in
+        ( name,
+          Sim.Json.Obj
+            [
+              ("ns_per_run", Sim.Json.Float (wall_s *. 1e9));
+              ("events_per_sec", Sim.Json.Float eps);
+              ("events", Sim.Json.Int events);
+            ] ))
+      macro_subjects
+  in
+  write_json_file ~out entries;
+  let parsed =
+    match Sim.Json.parse (read_file out) with
+    | Error e -> failwith ("bench --macro: emitted invalid JSON: " ^ e)
+    | Ok v -> v
+  in
+  Printf.printf "bench macro: wrote %s (%d subjects)\n" out
+    (List.length entries);
+  (match gate with
+  | None -> ()
+  | Some baseline_path ->
+      gate_ns ~label:"bench macro"
+        ~subject_names:(List.map fst macro_subjects)
+        ~baseline_path parsed);
   exit 0
 
 let () =
@@ -450,6 +535,9 @@ let () =
         | None -> 0.25
       in
       json_mode ~out ~gate:(arg_value "--gate") ~quota_s
+  | None -> ());
+  (match arg_value "--macro" with
+  | Some out -> macro_mode ~out ~gate:(arg_value "--macro-gate")
   | None -> ());
   if Array.exists (( = ) "--smoke") Sys.argv then smoke ();
   let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in

@@ -90,6 +90,24 @@ let materialize =
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let hosts =
+  Arg.(
+    value & opt int 1
+    & info [ "hosts" ] ~docv:"K"
+        ~doc:
+          "Simulate K independent hosts linked by a cross-host heartbeat \
+           ring on the sharded engine (1 = classic single-host run). Host i \
+           uses seed SEED + 7919*i; artifacts are written per host.")
+
+let shards =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Logical shard count for multi-host runs. Purely an execution \
+           policy: outputs are byte-identical for every N (and for any \
+           worker-domain count). Ignored when --hosts is 1.")
+
 let trace =
   Arg.(
     value & flag
@@ -153,6 +171,58 @@ let emit_artifacts ~recorder ~trace_out ~metrics_out tb =
         (Sim.Metrics.size tb.Experiments.Testbed.metrics)
   | None -> ()
 
+(* [host_path p i] derives host [i]'s artifact path from [p]:
+   "m.json" -> "m.host0.json". *)
+let host_path path i =
+  match Filename.extension path with
+  | "" -> Printf.sprintf "%s.host%d" path i
+  | ext -> Printf.sprintf "%s.host%d%s" (Filename.remove_extension path) i ext
+
+(* Multi-host runs emit one artifact set per host, in fixed host order;
+   tracing uses per-LP sinks so each host's stream stays separate even
+   when shards drain on different OS domains. *)
+let run_multihost ~quick ~shards ~hosts ~trace_out ~metrics_out cfg =
+  let module M = Experiments.Multihost in
+  let recorders =
+    match trace_out with
+    | None -> [||]
+    | Some _ -> Array.init hosts (fun _ -> Sim.Trace.Recorder.create ())
+  in
+  let prepare (t : M.t) =
+    if Array.length recorders > 0 then
+      Array.iter
+        (fun (h : M.host) ->
+          Sim.Shard.Partition.set_sink h.M.lp
+            (Some (Sim.Trace.Recorder.sink recorders.(h.M.id))))
+        t.M.hosts
+  in
+  let rep, t = M.run ~quick ~shards ~prepare ~hosts cfg in
+  Format.printf "%a" M.pp_report rep;
+  (match trace_out with
+  | Some path ->
+      Array.iteri
+        (fun i (h : M.host) ->
+          let r = recorders.(i) in
+          name_processes r h.M.tb.Experiments.Testbed.xen;
+          let p = host_path path i in
+          write_file p (Sim.Trace.Recorder.to_chrome_string r);
+          Format.printf "trace: %s (%d events)@." p
+            (Sim.Trace.Recorder.count r))
+        t.M.hosts
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+      Array.iteri
+        (fun i (h : M.host) ->
+          let p = host_path path i in
+          write_file p
+            (Sim.Json.to_string
+               (Sim.Metrics.to_json h.M.tb.Experiments.Testbed.metrics));
+          Format.printf "metrics: %s (%d series)@." p
+            (Sim.Metrics.size h.M.tb.Experiments.Testbed.metrics))
+        t.M.hosts
+  | None -> ()
+
 (* ---- run one experiment ---- *)
 
 let build_cfg system nic pattern guests nics protection materialize seed =
@@ -178,24 +248,29 @@ let print_measurement m =
 
 let run_cmd =
   let run quick system nic pattern guests nics protection materialize seed
-      trace trace_out metrics_out =
-    if trace then
-      Sim.Trace.set_sink (Some (Sim.Trace.formatter_sink Format.err_formatter));
-    let recorder =
-      match trace_out with Some _ -> Some (setup_recorder ()) | None -> None
-    in
+      trace trace_out metrics_out shards hosts =
     let cfg = build_cfg system nic pattern guests nics protection materialize seed in
-    let m, tb = Experiments.Run.run_tb ~quick cfg in
-    Sim.Trace.set_sink None;
-    print_measurement m;
-    emit_artifacts ~recorder ~trace_out ~metrics_out tb
+    if hosts > 1 then
+      run_multihost ~quick ~shards ~hosts ~trace_out ~metrics_out cfg
+    else begin
+      if trace then
+        Sim.Trace.set_sink
+          (Some (Sim.Trace.formatter_sink Format.err_formatter));
+      let recorder =
+        match trace_out with Some _ -> Some (setup_recorder ()) | None -> None
+      in
+      let m, tb = Experiments.Run.run_tb ~quick cfg in
+      Sim.Trace.set_sink None;
+      print_measurement m;
+      emit_artifacts ~recorder ~trace_out ~metrics_out tb
+    end
   in
   let doc = "Run a single experiment and print its measurement." in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       const run $ quick $ system $ nic $ pattern $ guests $ nics $ protection
-      $ materialize $ seed $ trace $ trace_out $ metrics_out)
+      $ materialize $ seed $ trace $ trace_out $ metrics_out $ shards $ hosts)
 
 (* ---- trace: run an experiment purely to produce observability output ---- *)
 

@@ -1,0 +1,56 @@
+(** Multi-host scenario on the sharded engine.
+
+    [K] complete testbed replicas — one {!Sim.Shard} logical process
+    each — linked in a cross-host heartbeat ring whose channel lookahead
+    comes from the Ethernet link model
+    ({!Sim.Shard.lookahead_of_link}: one full-size wire frame at
+    1 Gb/s + 500 ns propagation, ~12.8 us). Host [i] uses seed
+    [cfg.seed + 7919 * i]. Every per-host measurement is produced by the
+    same {!Run} phase helpers as a single-host run, and outputs are
+    byte-identical for every [shards]/[workers] choice. *)
+
+type host = {
+  id : int;
+  tb : Testbed.t;
+  lp : Sim.Shard.Partition.lp;
+  heartbeats_rx : Sim.Stats.Counter.t;
+      (** Heartbeats delivered {e to} this host (counted in its metrics
+          registry as ["xhost.heartbeat_rx"]). *)
+}
+
+type t = {
+  hosts : host array;  (** Indexed by host id. *)
+  shard : Sim.Shard.t;
+}
+
+type report = {
+  measurements : Run.measurement list;  (** In fixed host order. *)
+  heartbeats : int;  (** Total cross-host heartbeats delivered. *)
+  messages_routed : int;  (** All cross-shard messages through barriers. *)
+  shards : int;  (** Effective logical shard count. *)
+  workers : int;  (** OS domains that actually drained shards. *)
+}
+
+(** The cross-host channel lookahead (also the heartbeat send delay). *)
+val lookahead : Sim.Time.t
+
+val heartbeat_period : Sim.Time.t
+
+(** Build [hosts] testbed replicas and freeze the partition.
+    [shards]/[workers] as in {!Sim.Shard.create}. *)
+val build : ?shards:int -> ?workers:int -> hosts:int -> Config.t -> t
+
+(** Build, start, warm up, measure — {!Run}'s phases driven by
+    {!Sim.Shard.run}. [prepare] runs after build and before any event
+    fires; use it to attach per-host trace sinks
+    ({!Sim.Shard.Partition.set_sink}). *)
+val run :
+  ?quick:bool ->
+  ?shards:int ->
+  ?workers:int ->
+  ?prepare:(t -> unit) ->
+  hosts:int ->
+  Config.t ->
+  report * t
+
+val pp_report : Format.formatter -> report -> unit

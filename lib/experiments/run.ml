@@ -74,31 +74,39 @@ let nic_drops stats =
 let nic_faults stats =
   List.fold_left (fun acc (s : Nic.Dp.stats) -> acc + s.Nic.Dp.faults) 0 stats
 
-let run_tb ?(quick = false) (cfg : Config.t) =
-  let cfg =
-    if quick then
-      {
-        cfg with
-        Config.warmup = Sim.Time.div_int cfg.Config.warmup 2;
-        duration = Sim.Time.div_int cfg.Config.duration 4;
-      }
-    else cfg
-  in
-  let tb = Testbed.build cfg in
-  tb.Testbed.start ();
-  Sim.Engine.run tb.Testbed.engine ~until:cfg.Config.warmup;
-  (* End of warm-up: zero every counter the measurement reads. *)
+let apply_quick ~quick (cfg : Config.t) =
+  if quick then
+    {
+      cfg with
+      Config.warmup = Sim.Time.div_int cfg.Config.warmup 2;
+      duration = Sim.Time.div_int cfg.Config.duration 4;
+    }
+  else cfg
+
+type baselines = {
+  drops0 : int;
+  faults0 : int;
+  irqs0 : int;
+  events0 : int;
+}
+
+(* End of warm-up: zero every counter the measurement reads. The engine
+   must stand exactly at [cfg.warmup]. *)
+let reset_after_warmup (cfg : Config.t) (tb : Testbed.t) =
   Host.Profile.reset ~now:cfg.Config.warmup tb.Testbed.profile;
   List.iter Xen.Domain.reset_virq_count (Xen.Hypervisor.domains tb.Testbed.xen);
   List.iter Workload.Connection.reset_counters tb.Testbed.conns_tx;
   List.iter Workload.Connection.reset_counters tb.Testbed.conns_rx;
   Xen.Hypervisor.reset_counters tb.Testbed.xen;
-  let drops0 = nic_drops (tb.Testbed.nic_stats ()) in
-  let faults0 = nic_faults (tb.Testbed.nic_stats ()) in
-  let irqs0 = tb.Testbed.nic_interrupts () in
-  let events0 = Sim.Engine.fired_count tb.Testbed.engine in
-  let stop = Sim.Time.add cfg.Config.warmup cfg.Config.duration in
-  Sim.Engine.run tb.Testbed.engine ~until:stop;
+  {
+    drops0 = nic_drops (tb.Testbed.nic_stats ());
+    faults0 = nic_faults (tb.Testbed.nic_stats ());
+    irqs0 = tb.Testbed.nic_interrupts ();
+    events0 = Sim.Engine.fired_count tb.Testbed.engine;
+  }
+
+let collect (cfg : Config.t) (tb : Testbed.t) (b : baselines) =
+  let { drops0; faults0; irqs0; events0 } = b in
   let secs = Sim.Time.to_sec_f cfg.Config.duration in
   let goodput_per_pkt = max 1 (cfg.Config.payload - l3_header_bytes) in
   let mbps conns =
@@ -150,8 +158,17 @@ let run_tb ?(quick = false) (cfg : Config.t) =
     latency_p99_us = latency_percentile measured_conns 99.;
     fairness = jain_fairness measured_conns;
     events_fired = Sim.Engine.fired_count tb.Testbed.engine - events0;
-  },
-  tb
+  }
+
+let run_tb ?(quick = false) (cfg : Config.t) =
+  let cfg = apply_quick ~quick cfg in
+  let tb = Testbed.build cfg in
+  tb.Testbed.start ();
+  Sim.Engine.run tb.Testbed.engine ~until:cfg.Config.warmup;
+  let b = reset_after_warmup cfg tb in
+  let stop = Sim.Time.add cfg.Config.warmup cfg.Config.duration in
+  Sim.Engine.run tb.Testbed.engine ~until:stop;
+  (collect cfg tb b, tb)
 
 let run ?quick cfg = fst (run_tb ?quick cfg)
 

@@ -30,6 +30,28 @@ type measurement = {
     sum for bidirectional). *)
 val primary_mbps : measurement -> float
 
+(** {2 Measurement phases}
+
+    {!run} is [build -> warm up -> reset -> measure -> collect]; the
+    phases are exposed so drivers that advance time differently (the
+    sharded multi-host runner in {!Multihost}) can reuse the exact same
+    accounting and stay measurement-compatible with single-host runs. *)
+
+(** Shrink warm-up (1/2) and measurement (1/4) when [quick] is set. *)
+val apply_quick : quick:bool -> Config.t -> Config.t
+
+(** Counter readings taken at the end of warm-up, subtracted by
+    {!collect}. *)
+type baselines
+
+(** Zero every counter the measurement reads and snapshot the rest. Call
+    with the testbed's engine standing exactly at [cfg.warmup]. *)
+val reset_after_warmup : Config.t -> Testbed.t -> baselines
+
+(** Assemble the measurement after the engine has reached
+    [cfg.warmup + cfg.duration]. *)
+val collect : Config.t -> Testbed.t -> baselines -> measurement
+
 (** [run cfg] builds and measures. [quick] shrinks warm-up/measurement to
     ~1/4 duration for tests. *)
 val run : ?quick:bool -> Config.t -> measurement

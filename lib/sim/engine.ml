@@ -24,8 +24,13 @@ type t = {
 let dummy_fn : unit -> unit = fun () -> ()
 let cancelled : unit -> unit = fun () -> ()
 
-let create () =
-  { now = Time.zero; fired = 0; live = 0; queue = Heap.create ~dummy:dummy_fn }
+let create ?max_pending () =
+  {
+    now = Time.zero;
+    fired = 0;
+    live = 0;
+    queue = Heap.create ?max_entries:max_pending ~dummy:dummy_fn ();
+  }
 
 let[@cdna.hot] now t = t.now
 let fired_count t = t.fired
@@ -35,8 +40,12 @@ let live_pending_count t = t.live
 let[@cdna.hot] schedule_at t time fn =
   if Time.compare time t.now < 0 then
     invalid_arg "Engine.schedule_at: time in the past";
+  (* Count the event only after the push succeeded: [push_handle] raises
+     on heap exhaustion without mutating the heap, and bumping [live]
+     first would leave the gauge permanently off by one. *)
+  let id = Heap.push_handle t.queue ~key:(Time.to_ns time) fn in
   t.live <- t.live + 1;
-  Heap.push_handle t.queue ~key:(Time.to_ns time) fn
+  id
 
 let[@cdna.hot] schedule t ~delay fn =
   if Time.compare delay Time.zero < 0 then
@@ -70,20 +79,22 @@ let[@cdna.hot] rec step t =
     end
   end
 
+(* The horizon check applies uniformly before any pop — including
+   cancelled entries. Sweeping a cancelled entry whose key lies beyond
+   [until_ns] would shrink [pending_count] for events the drain window
+   never reached, diverging from [step]'s accounting. *)
 let[@cdna.hot] rec drain t ~until_ns =
-  if not (Heap.is_empty t.queue) then
-    if Heap.peek_exn t.queue == cancelled then begin
-      ignore (Heap.pop_exn t.queue : unit -> unit);
-      drain t ~until_ns
-    end
-    else begin
-      let k = Heap.min_key_exn t.queue in
-      if k <= until_ns then begin
-        let fn = Heap.pop_exn t.queue in
+  if not (Heap.is_empty t.queue) then begin
+    let k = Heap.min_key_exn t.queue in
+    if k <= until_ns then begin
+      let fn = Heap.pop_exn t.queue in
+      if fn == cancelled then drain t ~until_ns
+      else begin
         fire t ~time:(Time.ns k) fn;
         drain t ~until_ns
       end
     end
+  end
 
 let[@cdna.hot] run t ~until =
   drain t ~until_ns:(Time.to_ns until);

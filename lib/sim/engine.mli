@@ -9,7 +9,10 @@ type t
 (** Handle for a scheduled event, usable with {!cancel}. *)
 type event_id
 
-val create : unit -> t
+(** [create ()] makes an empty engine. [max_pending] caps concurrently
+    pending events (default [2^24]); a schedule beyond the cap raises
+    [Invalid_argument] leaving every counter and the queue untouched. *)
+val create : ?max_pending:int -> unit -> t
 
 (** Current simulated time. *)
 val now : t -> Time.t

@@ -27,6 +27,7 @@
 
 type 'a t = {
   dummy : 'a;
+  limit : int; (* hard cap on concurrently pending entries *)
   mutable nodes : int array; (* stride 2: key, slot *)
   mutable vals : 'a array; (* arena, indexed by slot *)
   mutable seqs : int array; (* arena: seq while pending, -1 when free *)
@@ -40,9 +41,12 @@ type 'a t = {
 let slot_bits = 24
 let slot_mask = (1 lsl slot_bits) - 1
 
-let create ~dummy =
+let create ?(max_entries = slot_mask + 1) ~dummy () =
+  if max_entries <= 0 || max_entries > slot_mask + 1 then
+    invalid_arg "Heap.create: max_entries out of range";
   {
     dummy;
+    limit = max_entries;
     nodes = [||];
     vals = [||];
     seqs = [||];
@@ -58,8 +62,8 @@ let[@cdna.hot] is_empty h = h.size = 0
 
 let grow h =
   let cap = Array.length h.vals in
-  let nc = if cap = 0 then 16 else cap * 2 in
-  if nc > slot_mask + 1 then invalid_arg "Heap: too many pending entries";
+  if cap >= h.limit then invalid_arg "Heap: too many pending entries";
+  let nc = Stdlib.min h.limit (if cap = 0 then 16 else cap * 2) in
   let nodes = Array.make (2 * nc) 0 in
   let vals = Array.make nc h.dummy in
   let seqs = Array.make nc (-1) in

@@ -16,9 +16,14 @@
 
 type 'a t
 
-(** [create ~dummy] makes an empty heap. [dummy] fills unused value
-    slots; it is never returned by {!pop}/{!peek}. *)
-val create : dummy:'a -> 'a t
+(** [create ~dummy ()] makes an empty heap. [dummy] fills unused value
+    slots; it is never returned by {!pop}/{!peek}. [max_entries] caps the
+    number of concurrently pending entries (default and upper bound
+    [2^24], the handle encoding's slot space): a push that would exceed
+    it raises [Invalid_argument] {e before} mutating any heap state, so a
+    caller that tracks its own pending count can rely on the heap being
+    unchanged when the push fails. *)
+val create : ?max_entries:int -> dummy:'a -> unit -> 'a t
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

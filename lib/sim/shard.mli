@@ -1,0 +1,112 @@
+(** Parallel deterministic simulation core.
+
+    Conservative synchronous parallel discrete-event simulation: the
+    model is split into {e logical processes} (LPs) that share no state;
+    each LP owns one {!Engine}. Cross-LP interactions go through
+    latency-carrying channels, and the minimum channel latency — the
+    {e lookahead} — bounds how far LPs may drain independently before a
+    synchronization barrier.
+
+    {2 Execution model}
+
+    Time advances in global windows of the lookahead [L]. Within
+    [\[w, w + L)] every LP runs its own engine to the window end with no
+    interaction; this is sound because a message sent inside the window
+    carries at least [L] of channel delay and thus cannot be delivered
+    before [w + L]. At the barrier, all messages sent during the window
+    are merged in the fixed total order {b (delivery time, source LP id,
+    per-source sequence number)} and pushed into destination engines,
+    whose FIFO tie-break then fixes same-instant delivery order.
+
+    {2 Determinism}
+
+    Outputs are byte-identical across shard counts and across the
+    sequential and multi-domain backends: each LP's behavior depends
+    only on its own deterministic engine order plus the merged inbound
+    message order, and both are independent of how LPs are grouped onto
+    shards or OS domains. Logical shards fix the partitioning; physical
+    workers (OS domains) are pure execution policy. *)
+
+(** A partition under construction: the first-class description of how
+    the model is cut into LPs and which channels cross the cuts. *)
+module Partition : sig
+  type lp
+  (** One logical process: an isolated {!Engine} plus its channels. *)
+
+  type t
+
+  val create : unit -> t
+
+  (** [add t ~name engine] registers [engine] as a new LP. The engine
+      must not be shared with any other LP, and after registration all
+      cross-LP scheduling must go through {!Shard.send}. *)
+  val add : t -> name:string -> Engine.t -> lp
+
+  (** [connect t ~src ~dst ~min_latency] declares a directed channel.
+      [min_latency] is the channel's lookahead contribution: {!Shard.send}
+      on this channel must use a delay of at least [min_latency], which
+      must be positive. Self-channels are rejected. *)
+  val connect : t -> src:lp -> dst:lp -> min_latency:Time.t -> unit
+
+  val lp_count : t -> int
+
+  (** Global lookahead: the minimum latency over all declared channels,
+      or [None] when no channel exists (LPs are fully independent). *)
+  val lookahead : t -> Time.t option
+
+  val name : lp -> string
+  val engine : lp -> Engine.t
+
+  (** Trace sink installed (on whichever OS domain drains it) while this
+      LP's engine runs, so each LP records into its own stream. *)
+  val set_sink : lp -> Trace.sink option -> unit
+end
+
+type t
+
+(** [create ?shards ?workers p] freezes partition [p] for execution.
+
+    [shards] (default 1) is the {e logical} shard count, clamped to the
+    LP count; it selects the deterministic schedule and is what
+    [--shards] exposes. [workers] is the number of OS domains actually
+    draining shards, default [min shards (Domain.recommended_domain_count
+    ())] — on a single-core host a multi-shard run therefore executes on
+    one domain while producing the exact bytes a multi-domain run would.
+    Pass [workers] explicitly (tests do) to force real [Domain.spawn]
+    parallelism regardless of core count. *)
+val create : ?shards:int -> ?workers:int -> Partition.t -> t
+
+val shards : t -> int
+val workers : t -> int
+
+(** Cross-shard messages delivered through barriers so far. *)
+val messages_routed : t -> int
+
+(** [send t ~src ~dst ~delay fn] schedules [fn] on [dst]'s engine at
+    [src]'s current time plus [delay]. Raises [Invalid_argument] when no
+    channel [src -> dst] was declared or [delay] is below the channel's
+    [min_latency] — the conservative-lookahead contract. Delivery
+    happens at the next window barrier; [fn] runs on whichever OS domain
+    owns [dst], under [dst]'s trace sink. *)
+val send :
+  t -> src:Partition.lp -> dst:Partition.lp -> delay:Time.t ->
+  (unit -> unit) -> unit
+
+(** Advance every LP to [until] (windows of the global lookahead, or a
+    single window when no channels exist). Re-entrant calls with
+    increasing [until] continue from the previous boundary; a smaller
+    [until] raises [Invalid_argument]. An exception from any event
+    handler (on any worker) tears the pool down and re-raises on the
+    calling domain. *)
+val run : t -> until:Time.t -> unit
+
+(** Global window boundary reached by {!run} so far. *)
+val now : t -> Time.t
+
+(** [lookahead_of_link ~rate_bps ~propagation ~mtu_bytes] derives a
+    sound channel lookahead from an {!Ethernet.Link}-style wire model:
+    serialization time of one maximum-size frame plus propagation
+    delay. Nothing can cross such a link faster, so partitions cut at
+    link boundaries may use this as [min_latency]. *)
+val lookahead_of_link :
+  rate_bps:int -> propagation:Time.t -> mtu_bytes:int -> Time.t

@@ -55,6 +55,8 @@ module Tw_avg = struct
     t.value <- v
 
   let mean t ~now =
+    if Time.compare now t.last_update < 0 then
+      invalid_arg "Tw_avg: time going backwards";
     let span = Time.to_sec_f (Time.sub now t.start) in
     if span <= 0. then t.value
     else begin
@@ -104,7 +106,8 @@ module Histogram = struct
 
   let add t v =
     let v = Stdlib.max 0 v in
-    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
     t.n <- t.n + 1;
     t.sum <- t.sum +. float_of_int v;
     if v < t.min_v then t.min_v <- v;

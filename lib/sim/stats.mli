@@ -54,7 +54,9 @@ module Tw_avg : sig
       Out-of-order updates raise [Invalid_argument]. *)
   val set : t -> now:Time.t -> float -> unit
 
-  (** Time-weighted mean over [\[start, now\]]. *)
+  (** Time-weighted mean over [\[start, now\]]. Like {!set}, a [now]
+      earlier than the last recorded update raises [Invalid_argument]
+      (a stale read would silently contribute a negative slice). *)
   val mean : t -> now:Time.t -> float
 
   val current : t -> float

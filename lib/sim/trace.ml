@@ -22,20 +22,30 @@ type event = {
 
 type sink = event -> unit
 
-let current_sink : sink option ref = ref None
-let current_filter : (string -> bool) option ref = ref None
+(* The installed sink and filter are per-OS-domain state (Domain.DLS),
+   not globals: the sharded engine (Shard) drains different simulation
+   partitions on different domains concurrently, each under its own
+   recorder, and a shared ref would interleave their streams
+   nondeterministically. On the main domain this behaves exactly like
+   the old global ref. Freshly spawned domains start with no sink. *)
+let sink_key : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let set_sink s = current_sink := s
-let set_filter f = current_filter := f
-let enabled () = Option.is_some !current_sink
+let filter_key : (string -> bool) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_sink s = Domain.DLS.set sink_key s
+let current_sink () = Domain.DLS.get sink_key
+let set_filter f = Domain.DLS.set filter_key f
+let enabled () = Option.is_some (Domain.DLS.get sink_key)
 
 let tag_enabled tag =
-  match !current_sink with
+  match Domain.DLS.get sink_key with
   | None -> false
-  | Some _ -> ( match !current_filter with None -> true | Some f -> f tag)
+  | Some _ -> (
+      match Domain.DLS.get filter_key with None -> true | Some f -> f tag)
 
 let dispatch ev =
-  match !current_sink with None -> () | Some sink -> sink ev
+  match Domain.DLS.get sink_key with None -> () | Some sink -> sink ev
 
 let record ?(pid = 0) ?(tid = 0) ?(args = []) ~time ~tag ~phase name =
   if tag_enabled tag then

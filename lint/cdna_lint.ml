@@ -176,6 +176,10 @@ let allow_qualified =
       "Int.logand"; "Int.logor"; "Int.logxor"; "Int.shift_left";
       "Int.shift_right"; "Int.shift_right_logical";
       "Lazy.force"; "Sys.opaque_identity";
+      (* Per-domain slot read; allocates only on a key's first access on
+         a new domain (one-time init, like Lazy.force). Both spellings:
+         the parsetree sees [Domain.DLS.get], the typedtree [DLS.get]. *)
+      "Domain.DLS.get"; "DLS.get";
       "Hashtbl.mem"; "Hashtbl.remove"; "Hashtbl.length";
       "Queue.length"; "Queue.is_empty";
       "Stdlib.min"; "Stdlib.max"; "Stdlib.abs"; "Stdlib.succ";

@@ -1,0 +1,335 @@
+(* Tests for the fixed accounting bugs (engine drain horizon, heap-full
+   live count, stale Tw_avg reads) and for the sharded deterministic
+   core: Sim.Shard unit behavior plus sequential-vs-sharded
+   byte-identity of complete multi-host runs. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ---------- Satellite bugfixes ---------- *)
+
+(* A cancelled entry whose key lies beyond the horizon must survive a
+   drain: the horizon check applies before any pop, cancelled or not. *)
+let test_drain_past_horizon_cancelled () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ns 10) (fun () -> incr fired));
+  let far = Sim.Engine.schedule e ~delay:(Sim.Time.ns 100) (fun () -> incr fired) in
+  let far2 = Sim.Engine.schedule e ~delay:(Sim.Time.ns 200) (fun () -> incr fired) in
+  Sim.Engine.cancel e far;
+  Sim.Engine.cancel e far2;
+  Sim.Engine.run e ~until:(Sim.Time.ns 50);
+  check_int "one event fired" 1 !fired;
+  (* The cancelled entries beyond the horizon must still be queued
+     (unswept), not silently popped by the drain. *)
+  check_int "cancelled entries still pending" 2 (Sim.Engine.pending_count e);
+  check_int "live count excludes cancelled" 0 (Sim.Engine.live_pending_count e);
+  Sim.Engine.run e ~until:(Sim.Time.ns 300);
+  check_int "cancelled events never fire" 1 !fired;
+  check_int "queue empty after horizon passes" 0 (Sim.Engine.pending_count e)
+
+(* Horizon semantics unchanged for live events: an event exactly at the
+   horizon fires, one beyond it does not. *)
+let test_drain_horizon_inclusive () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ns 50) (fun () -> log := 50 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ns 51) (fun () -> log := 51 :: !log));
+  Sim.Engine.run e ~until:(Sim.Time.ns 50);
+  check (Alcotest.list Alcotest.int) "at-horizon fires" [ 50 ] !log;
+  check_int "beyond-horizon pends" 1 (Sim.Engine.live_pending_count e)
+
+(* A schedule rejected by the heap cap must leave the live count (and
+   the queue) untouched — the increment happens only after the push. *)
+let test_heap_full_live_consistency () =
+  let e = Sim.Engine.create ~max_pending:4 () in
+  for _ = 1 to 4 do
+    ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ns 5) (fun () -> ()))
+  done;
+  check_int "at cap" 4 (Sim.Engine.live_pending_count e);
+  (try
+     ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ns 5) (fun () -> ()));
+     Alcotest.fail "expected Invalid_argument on heap-full schedule"
+   with Invalid_argument _ -> ());
+  check_int "live unchanged after failed schedule" 4
+    (Sim.Engine.live_pending_count e);
+  check_int "pending unchanged after failed schedule" 4
+    (Sim.Engine.pending_count e);
+  (* The engine must still be fully usable: drain and refill. *)
+  ignore (Sim.Engine.run_to_completion e);
+  check_int "drained" 0 (Sim.Engine.pending_count e);
+  for _ = 1 to 4 do
+    ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ns 5) (fun () -> ()))
+  done;
+  check_int "refillable to cap" 4 (Sim.Engine.live_pending_count e)
+
+(* [mean] with a [now] earlier than the last update must raise instead
+   of silently folding in a negative slice. *)
+let test_tw_avg_stale_now () =
+  let a = Sim.Stats.Tw_avg.create ~now:(Sim.Time.ns 0) ~value:1. in
+  Sim.Stats.Tw_avg.set a ~now:(Sim.Time.ns 100) 3.;
+  Alcotest.check_raises "stale mean" (Invalid_argument "Tw_avg: time going backwards")
+    (fun () -> ignore (Sim.Stats.Tw_avg.mean a ~now:(Sim.Time.ns 50)));
+  (* A current read still works. *)
+  check (Alcotest.float 1e-9) "mean at last update" 1.
+    (Sim.Stats.Tw_avg.mean a ~now:(Sim.Time.ns 100))
+
+(* ---------- Shard unit behavior ---------- *)
+
+let test_partition_validation () =
+  let p = Sim.Shard.Partition.create () in
+  let a = Sim.Shard.Partition.add p ~name:"a" (Sim.Engine.create ()) in
+  let b = Sim.Shard.Partition.add p ~name:"b" (Sim.Engine.create ()) in
+  check_int "lp count" 2 (Sim.Shard.Partition.lp_count p);
+  check Alcotest.string "name" "a" (Sim.Shard.Partition.name a);
+  check_bool "no channels -> no lookahead" true
+    (match Sim.Shard.Partition.lookahead p with None -> true | Some _ -> false);
+  Alcotest.check_raises "self channel"
+    (Invalid_argument "Shard.Partition.connect: a channel must cross LPs")
+    (fun () ->
+      Sim.Shard.Partition.connect p ~src:a ~dst:a
+        ~min_latency:(Sim.Time.ns 10));
+  Alcotest.check_raises "zero latency"
+    (Invalid_argument "Shard.Partition.connect: lookahead must be positive")
+    (fun () ->
+      Sim.Shard.Partition.connect p ~src:a ~dst:b ~min_latency:Sim.Time.zero);
+  Sim.Shard.Partition.connect p ~src:a ~dst:b ~min_latency:(Sim.Time.ns 100);
+  Sim.Shard.Partition.connect p ~src:b ~dst:a ~min_latency:(Sim.Time.ns 40);
+  check_int "lookahead = min channel latency" 40
+    (Sim.Time.to_ns
+       (match Sim.Shard.Partition.lookahead p with
+       | Some l -> l
+       | None -> Alcotest.fail "expected a lookahead"))
+
+let test_send_contract () =
+  let p = Sim.Shard.Partition.create () in
+  let a = Sim.Shard.Partition.add p ~name:"a" (Sim.Engine.create ()) in
+  let b = Sim.Shard.Partition.add p ~name:"b" (Sim.Engine.create ()) in
+  let c = Sim.Shard.Partition.add p ~name:"c" (Sim.Engine.create ()) in
+  Sim.Shard.Partition.connect p ~src:a ~dst:b ~min_latency:(Sim.Time.ns 100);
+  let t = Sim.Shard.create p in
+  Alcotest.check_raises "undeclared channel"
+    (Invalid_argument "Shard.send: no channel declared src -> dst")
+    (fun () ->
+      Sim.Shard.send t ~src:a ~dst:c ~delay:(Sim.Time.ns 500) (fun () -> ()));
+  Alcotest.check_raises "delay below lookahead"
+    (Invalid_argument "Shard.send: delay below the channel lookahead")
+    (fun () ->
+      Sim.Shard.send t ~src:a ~dst:b ~delay:(Sim.Time.ns 99) (fun () -> ()));
+  (* Exactly the channel latency is legal (tightest conservative send). *)
+  Sim.Shard.send t ~src:a ~dst:b ~delay:(Sim.Time.ns 100) (fun () -> ());
+  Sim.Shard.run t ~until:(Sim.Time.ns 200);
+  check_int "message crossed the barrier" 1 (Sim.Shard.messages_routed t)
+
+(* Messages from different sources meeting at the same instant on the
+   same destination deliver in (deliver, src id, seq) order regardless
+   of send order. *)
+let test_inbox_merge_order () =
+  let build () =
+    let p = Sim.Shard.Partition.create () in
+    let a = Sim.Shard.Partition.add p ~name:"a" (Sim.Engine.create ()) in
+    let b = Sim.Shard.Partition.add p ~name:"b" (Sim.Engine.create ()) in
+    let d = Sim.Shard.Partition.add p ~name:"d" (Sim.Engine.create ()) in
+    Sim.Shard.Partition.connect p ~src:a ~dst:d ~min_latency:(Sim.Time.ns 50);
+    Sim.Shard.Partition.connect p ~src:b ~dst:d ~min_latency:(Sim.Time.ns 50);
+    (p, a, b, d)
+  in
+  let run_once ~send_b_first ~shards =
+    let p, a, b, d = build () in
+    let t = Sim.Shard.create ~shards p in
+    let log = ref [] in
+    let push tag () = log := tag :: !log in
+    let ea = Sim.Shard.Partition.engine a in
+    let eb = Sim.Shard.Partition.engine b in
+    (* Both sources emit two messages landing at t=50 on d; b also one
+       at t=60. Send order varies; delivery order must not. *)
+    let send_a () =
+      ignore
+        (Sim.Engine.schedule ea ~delay:Sim.Time.zero (fun () ->
+             Sim.Shard.send t ~src:a ~dst:d ~delay:(Sim.Time.ns 50) (push "a0");
+             Sim.Shard.send t ~src:a ~dst:d ~delay:(Sim.Time.ns 50) (push "a1")))
+    in
+    let send_b () =
+      ignore
+        (Sim.Engine.schedule eb ~delay:Sim.Time.zero (fun () ->
+             Sim.Shard.send t ~src:b ~dst:d ~delay:(Sim.Time.ns 60) (push "b-late");
+             Sim.Shard.send t ~src:b ~dst:d ~delay:(Sim.Time.ns 50) (push "b0")))
+    in
+    if send_b_first then (send_b (); send_a ()) else (send_a (); send_b ());
+    ignore d;
+    Sim.Shard.run t ~until:(Sim.Time.ns 100);
+    List.rev !log
+  in
+  let expected = [ "a0"; "a1"; "b0"; "b-late" ] in
+  List.iter
+    (fun shards ->
+      check (Alcotest.list Alcotest.string) "merge order (a first)" expected
+        (run_once ~send_b_first:false ~shards);
+      check (Alcotest.list Alcotest.string) "merge order (b first)" expected
+        (run_once ~send_b_first:true ~shards))
+    [ 1; 2; 3 ]
+
+let test_lookahead_of_link () =
+  (* 1538 wire bytes at 1 Gb/s = 12304 ns serialization + 500 ns
+     propagation. *)
+  check_int "ethernet lookahead" 12804
+    (Sim.Time.to_ns
+       (Sim.Shard.lookahead_of_link ~rate_bps:1_000_000_000
+          ~propagation:(Sim.Time.ns 500) ~mtu_bytes:1538))
+
+(* A ping-pong across the lookahead boundary: results identical under
+   the sequential backend and under forced multi-domain execution
+   (workers = shards = 2 spawns a real second domain even on one core). *)
+let test_forced_parallel_workers () =
+  let run_once ~workers =
+    let p = Sim.Shard.Partition.create () in
+    let a = Sim.Shard.Partition.add p ~name:"a" (Sim.Engine.create ()) in
+    let b = Sim.Shard.Partition.add p ~name:"b" (Sim.Engine.create ()) in
+    Sim.Shard.Partition.connect p ~src:a ~dst:b ~min_latency:(Sim.Time.ns 100);
+    Sim.Shard.Partition.connect p ~src:b ~dst:a ~min_latency:(Sim.Time.ns 100);
+    let t = Sim.Shard.create ~shards:2 ~workers p in
+    let hops = ref 0 in
+    let rec ping src dst () =
+      incr hops;
+      Sim.Shard.send t ~src ~dst ~delay:(Sim.Time.ns 100) (ping dst src)
+    in
+    ignore
+      (Sim.Engine.schedule
+         (Sim.Shard.Partition.engine a)
+         ~delay:Sim.Time.zero
+         (fun () ->
+           Sim.Shard.send t ~src:a ~dst:b ~delay:(Sim.Time.ns 100) (ping b a)));
+    Sim.Shard.run t ~until:(Sim.Time.ns 1_000);
+    (!hops, Sim.Shard.messages_routed t, Sim.Shard.workers t)
+  in
+  let h1, r1, w1 = run_once ~workers:1 in
+  let h2, r2, w2 = run_once ~workers:2 in
+  check_int "sequential backend" 1 w1;
+  check_int "parallel backend really has 2 domains" 2 w2;
+  check_int "hops identical" h1 h2;
+  check_int "routed identical" r1 r2;
+  check_bool "pong actually ran" true (h1 > 0)
+
+(* An exception inside an event on a worker domain propagates to the
+   caller and does not wedge the pool. *)
+let test_worker_exception_propagates () =
+  let p = Sim.Shard.Partition.create () in
+  let a = Sim.Shard.Partition.add p ~name:"a" (Sim.Engine.create ()) in
+  let b = Sim.Shard.Partition.add p ~name:"b" (Sim.Engine.create ()) in
+  Sim.Shard.Partition.connect p ~src:a ~dst:b ~min_latency:(Sim.Time.ns 10);
+  let t = Sim.Shard.create ~shards:2 ~workers:2 p in
+  ignore
+    (Sim.Engine.schedule
+       (Sim.Shard.Partition.engine b)
+       ~delay:(Sim.Time.ns 5)
+       (fun () -> failwith "boom"));
+  (try
+     Sim.Shard.run t ~until:(Sim.Time.ns 100);
+     Alcotest.fail "expected the worker's exception to propagate"
+   with Failure msg -> check Alcotest.string "message" "boom" msg)
+
+(* ---------- Sequential vs sharded byte-identity, end to end ---------- *)
+
+(* Render everything observable about a multi-host run: the formatted
+   per-host measurements plus every host's full metrics registry
+   snapshot. Byte-compare across shard counts and backends. *)
+let render_report (rep : Experiments.Multihost.report)
+    (t : Experiments.Multihost.t) =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Format.asprintf "host%d %a@." i Experiments.Run.pp m))
+    rep.Experiments.Multihost.measurements;
+  Array.iter
+    (fun (h : Experiments.Multihost.host) ->
+      Buffer.add_string buf
+        (Sim.Metrics.to_string
+           h.Experiments.Multihost.tb.Experiments.Testbed.metrics);
+      Buffer.add_char buf '\n')
+    t.Experiments.Multihost.hosts;
+  Buffer.add_string buf
+    (Printf.sprintf "heartbeats=%d routed=%d\n"
+       rep.Experiments.Multihost.heartbeats
+       rep.Experiments.Multihost.messages_routed);
+  Buffer.contents buf
+
+let small_cfg seed =
+  {
+    Experiments.Config.default with
+    Experiments.Config.system = Experiments.Config.Cdna_sys;
+    nic = Experiments.Config.Ricenic;
+    guests = 1;
+    nics = 1;
+    warmup = Sim.Time.us 500;
+    duration = Sim.Time.ms 1;
+    seed;
+  }
+
+let multihost_render ~seed ~shards ?workers () =
+  let rep, t =
+    Experiments.Multihost.run ~shards ?workers ~hosts:4 (small_cfg seed)
+  in
+  render_report rep t
+
+(* The acceptance gate: for multiple seeds, every shard count — and a
+   forced two-domain backend — produces byte-identical output. *)
+let test_multihost_determinism () =
+  List.iter
+    (fun seed ->
+      let reference = multihost_render ~seed ~shards:1 () in
+      check_bool "report is non-trivial" true
+        (String.length reference > 200);
+      List.iter
+        (fun shards ->
+          check Alcotest.string
+            (Printf.sprintf "seed %d: shards=%d == shards=1" seed shards)
+            reference
+            (multihost_render ~seed ~shards ()))
+        [ 2; 4 ];
+      check Alcotest.string
+        (Printf.sprintf "seed %d: forced 2-domain backend" seed)
+        reference
+        (multihost_render ~seed ~shards:4 ~workers:2 ()))
+    [ 1234; 77 ]
+
+(* Re-running the same configuration twice in one process is also
+   byte-stable (no hidden global state). *)
+let test_multihost_rerun_stable () =
+  let a = multihost_render ~seed:1234 ~shards:2 () in
+  let b = multihost_render ~seed:1234 ~shards:2 () in
+  check Alcotest.string "rerun identical" a b
+
+let suite =
+  [
+    ( "sim.engine.accounting",
+      [
+        Alcotest.test_case "drain skips cancelled past horizon" `Quick
+          test_drain_past_horizon_cancelled;
+        Alcotest.test_case "horizon inclusive for live events" `Quick
+          test_drain_horizon_inclusive;
+        Alcotest.test_case "heap-full keeps live consistent" `Quick
+          test_heap_full_live_consistency;
+        Alcotest.test_case "tw_avg stale mean raises" `Quick
+          test_tw_avg_stale_now;
+      ] );
+    ( "sim.shard",
+      [
+        Alcotest.test_case "partition validation" `Quick
+          test_partition_validation;
+        Alcotest.test_case "send contract" `Quick test_send_contract;
+        Alcotest.test_case "inbox merge order" `Quick test_inbox_merge_order;
+        Alcotest.test_case "ethernet lookahead" `Quick test_lookahead_of_link;
+        Alcotest.test_case "forced parallel workers" `Quick
+          test_forced_parallel_workers;
+        Alcotest.test_case "worker exception propagates" `Quick
+          test_worker_exception_propagates;
+      ] );
+    ( "sim.shard.determinism",
+      [
+        Alcotest.test_case "sequential vs sharded byte-identical" `Slow
+          test_multihost_determinism;
+        Alcotest.test_case "rerun stable" `Quick test_multihost_rerun_stable;
+      ] );
+  ]

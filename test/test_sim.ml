@@ -51,7 +51,7 @@ let test_time_pp () =
 (* ---------- Heap ---------- *)
 
 let test_heap_ordering () =
-  let h = Sim.Heap.create ~dummy:0 in
+  let h = Sim.Heap.create ~dummy:0 () in
   List.iter (fun v -> Sim.Heap.push h ~key:v v) [ 5; 3; 8; 1; 9; 2 ];
   check Alcotest.(option int) "min_key" (Some 1) (Sim.Heap.min_key h);
   let order = List.init 6 (fun _ -> Sim.Heap.pop_exn h) in
@@ -59,7 +59,7 @@ let test_heap_ordering () =
 
 let test_heap_fifo_ties () =
   (* Equal keys must pop in insertion order (determinism). *)
-  let h = Sim.Heap.create ~dummy:"" in
+  let h = Sim.Heap.create ~dummy:"" () in
   List.iter
     (fun (k, v) -> Sim.Heap.push h ~key:k v)
     [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
@@ -67,7 +67,7 @@ let test_heap_fifo_ties () =
   check (Alcotest.list Alcotest.string) "fifo" [ "z"; "a"; "b"; "c" ] tags
 
 let test_heap_empty () =
-  let h = Sim.Heap.create ~dummy:0 in
+  let h = Sim.Heap.create ~dummy:0 () in
   check_bool "empty" true (Sim.Heap.is_empty h);
   check Alcotest.(option int) "peek none" None (Sim.Heap.peek h);
   check Alcotest.(option int) "min_key none" None (Sim.Heap.min_key h);
@@ -83,7 +83,7 @@ let test_heap_empty () =
 let test_heap_exn_accessors () =
   (* The option-free primitives must agree with their wrappers and leave
      the heap untouched. *)
-  let h = Sim.Heap.create ~dummy:0 in
+  let h = Sim.Heap.create ~dummy:0 () in
   List.iter (fun v -> Sim.Heap.push h ~key:v v) [ 7; 4; 6 ];
   check_int "min_key_exn" 4 (Sim.Heap.min_key_exn h);
   check_int "peek_exn" 4 (Sim.Heap.peek_exn h);
@@ -92,7 +92,7 @@ let test_heap_exn_accessors () =
   check_int "next min" 6 (Sim.Heap.min_key_exn h)
 
 let test_heap_clear () =
-  let h = Sim.Heap.create ~dummy:0 in
+  let h = Sim.Heap.create ~dummy:0 () in
   List.iter (fun v -> Sim.Heap.push h ~key:v v) [ 1; 2; 3 ];
   Sim.Heap.clear h;
   check_int "length" 0 (Sim.Heap.length h);
@@ -111,7 +111,7 @@ let test_heap_no_pin () =
   (* Popping must release the heap's reference to the value: the vacated
      array slot is overwritten with the dummy, so a popped payload is
      collectable even while the heap object stays live. *)
-  let h = Sim.Heap.create ~dummy:Bytes.empty in
+  let h = Sim.Heap.create ~dummy:Bytes.empty () in
   let w = Weak.create 1 in
   heap_push_pop_tracked h w;
   Gc.full_major ();
@@ -123,7 +123,7 @@ let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops any int list sorted" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = Sim.Heap.create ~dummy:0 in
+      let h = Sim.Heap.create ~dummy:0 () in
       List.iter (fun v -> Sim.Heap.push h ~key:v v) xs;
       let out = List.init (List.length xs) (fun _ -> Sim.Heap.pop_exn h) in
       out = List.sort Int.compare xs)
