@@ -485,10 +485,36 @@ let macro_once ~shards () =
   in
   (wall_s, events)
 
+(* Oversubscribed CDNA: twice as many guests as hardware contexts, so
+   the hypervisor's context paging runs on the hot path (every guest's
+   traffic periodically faults its context back in, evicting another).
+   Times the whole build+run; the gate catches pathological slowdowns in
+   the save/restore machinery. *)
+let oversub_cfg =
+  {
+    Experiments.Config.default with
+    Experiments.Config.system = Experiments.Config.Cdna_sys;
+    nic = Experiments.Config.Ricenic;
+    guests = 2 * Cdna.Cnic.num_contexts;
+    nics = 1;
+    warmup = Sim.Time.ms 1;
+    duration = Sim.Time.ms 4;
+  }
+
+let oversub_once () =
+  let t0 = Unix.gettimeofday () in
+  let m, tb = Experiments.Run.run_tb oversub_cfg in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match tb.Experiments.Testbed.cdna_hyp with
+  | Some h when Cdna.Hyp.ctx_swaps h > 0 -> ()
+  | Some _ | None -> failwith "macro/guests-oversubscription: no context swaps");
+  (wall_s, m.Experiments.Run.events_fired)
+
 let macro_subjects =
   [
     ("macro/multihost4-shards1", macro_once ~shards:1);
     ("macro/multihost4-shards4", macro_once ~shards:4);
+    ("macro/guests-oversubscription", oversub_once);
   ]
 
 let macro_mode ~out ~gate =

@@ -63,6 +63,29 @@ let nics =
   Arg.(
     value & opt int 2 & info [ "nics" ] ~docv:"N" ~doc:"Number of physical NICs.")
 
+let cpus =
+  Arg.(
+    value & opt int 1
+    & info [ "cpus" ] ~docv:"N"
+        ~doc:
+          "Host CPUs, each with its own credit runqueue (1 = the paper's \
+           single-CPU testbed).")
+
+(* Comma-separated integer list, e.g. --guest-counts 8,16,32. *)
+let int_list_conv =
+  let parse s =
+    try
+      Ok
+        (List.map
+           (fun x -> int_of_string (String.trim x))
+           (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg ("not a comma-separated int list: " ^ s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int l))
+  in
+  Arg.conv (parse, print)
+
 let protection =
   let doc = "CDNA DMA protection mode: full, disabled, or iommu." in
   let parse = function
@@ -225,7 +248,7 @@ let run_multihost ~quick ~shards ~hosts ~trace_out ~metrics_out cfg =
 
 (* ---- run one experiment ---- *)
 
-let build_cfg system nic pattern guests nics protection materialize seed =
+let build_cfg system nic pattern guests nics cpus protection materialize seed =
   {
     Experiments.Config.default with
     Experiments.Config.system;
@@ -233,6 +256,7 @@ let build_cfg system nic pattern guests nics protection materialize seed =
     pattern;
     guests;
     nics;
+    cpus;
     protection;
     materialize;
     seed;
@@ -247,9 +271,11 @@ let print_measurement m =
     m.Experiments.Run.events_fired
 
 let run_cmd =
-  let run quick system nic pattern guests nics protection materialize seed
+  let run quick system nic pattern guests nics cpus protection materialize seed
       trace trace_out metrics_out shards hosts =
-    let cfg = build_cfg system nic pattern guests nics protection materialize seed in
+    let cfg =
+      build_cfg system nic pattern guests nics cpus protection materialize seed
+    in
     if hosts > 1 then
       run_multihost ~quick ~shards ~hosts ~trace_out ~metrics_out cfg
     else begin
@@ -269,16 +295,19 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      const run $ quick $ system $ nic $ pattern $ guests $ nics $ protection
-      $ materialize $ seed $ trace $ trace_out $ metrics_out $ shards $ hosts)
+      const run $ quick $ system $ nic $ pattern $ guests $ nics $ cpus
+      $ protection $ materialize $ seed $ trace $ trace_out $ metrics_out
+      $ shards $ hosts)
 
 (* ---- trace: run an experiment purely to produce observability output ---- *)
 
 let trace_cmd =
-  let run quick system nic pattern guests nics protection materialize seed
+  let run quick system nic pattern guests nics cpus protection materialize seed
       trace_out metrics_out =
     let recorder = Some (setup_recorder ()) in
-    let cfg = build_cfg system nic pattern guests nics protection materialize seed in
+    let cfg =
+      build_cfg system nic pattern guests nics cpus protection materialize seed
+    in
     let m, tb = Experiments.Run.run_tb ~quick cfg in
     Sim.Trace.set_sink None;
     print_measurement m;
@@ -307,8 +336,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(
-      const run $ quick $ system $ nic $ pattern $ guests $ nics $ protection
-      $ materialize $ seed $ trace_out_pos $ metrics_out_pos)
+      const run $ quick $ system $ nic $ pattern $ guests $ nics $ cpus
+      $ protection $ materialize $ seed $ trace_out_pos $ metrics_out_pos)
 
 (* ---- tables ---- *)
 
@@ -378,6 +407,63 @@ let figure_cmd =
   let doc = "Reproduce one of the paper's scaling figures." in
   Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ quick $ which $ csv)
 
+(* ---- scale-guests: oversubscription sweep beyond the paper ---- *)
+
+let scale_guests_cmd =
+  let run quick pattern guest_counts cpu_counts shards csv chart_cpus =
+    let points =
+      Experiments.Scaling.sweep ~quick ~shards ~pattern ~guest_counts
+        ~cpu_counts ()
+    in
+    if csv then print_string (Experiments.Scaling.csv points)
+    else begin
+      print_endline
+        "Guest scaling past the 32 hardware contexts (CDNA pages contexts; \
+         Xen bridges in software):";
+      print_newline ();
+      Experiments.Scaling.print_table points;
+      match chart_cpus with
+      | Some c ->
+          print_newline ();
+          print_string (Experiments.Scaling.chart points ~cpus:c)
+      | None -> ()
+    end
+  in
+  let guest_counts =
+    Arg.(
+      value
+      & opt int_list_conv Experiments.Scaling.default_guest_counts
+      & info [ "guest-counts" ] ~docv:"N,N,..."
+          ~doc:"Guest counts to sweep (default 8..256).")
+  in
+  let cpu_counts =
+    Arg.(
+      value
+      & opt int_list_conv Experiments.Scaling.default_cpu_counts
+      & info [ "cpu-counts" ] ~docv:"N,N,..."
+          ~doc:"Host CPU counts to sweep (default 1,2,4).")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows.") in
+  let chart_cpus =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chart" ] ~docv:"CPUS"
+          ~doc:"Also draw the ASCII chart for this CPU count's series.")
+  in
+  let doc =
+    "Sweep guest counts through and past the NIC's 32 hardware contexts \
+     (hypervisor context paging), CDNA vs Xen software I/O, on 1..N host \
+     CPUs; reports throughput, context-swap counts and the crossover where \
+     swap overhead eats CDNA's advantage. Results are byte-identical for \
+     every --shards value."
+  in
+  Cmd.v
+    (Cmd.info "scale-guests" ~doc)
+    Term.(
+      const run $ quick $ pattern $ guest_counts $ cpu_counts $ shards $ csv
+      $ chart_cpus)
+
 (* ---- verify ---- *)
 
 let verify_cmd =
@@ -424,6 +510,7 @@ let main =
       trace_cmd;
       table_cmd;
       figure_cmd;
+      scale_guests_cmd;
       extension_cmd;
       protection_cmd;
       verify_cmd;

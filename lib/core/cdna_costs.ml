@@ -8,6 +8,7 @@ type t = {
   intr_decode_fixed : Sim.Time.t;
   map_context : Sim.Time.t;
   pio_doorbell : Sim.Time.t;
+  context_swap : Sim.Time.t;
 }
 
 let default =
@@ -19,4 +20,8 @@ let default =
     intr_decode_fixed = Sim.Time.ns 600;
     map_context = Sim.Time.us 20;
     pio_doorbell = Sim.Time.ns 120;
+    (* Saving + restoring a context image (1 KB mailbox partition, ring
+       registers, firmware scratch) over MMIO dominates; comparable to two
+       map_context operations. *)
+    context_swap = Sim.Time.us 45;
   }

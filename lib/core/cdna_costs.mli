@@ -23,6 +23,11 @@ type t = {
   intr_decode_fixed : Sim.Time.t;  (** Bit-vector buffer drain per interrupt. *)
   map_context : Sim.Time.t;  (** Context assignment/revocation. *)
   pio_doorbell : Sim.Time.t;  (** Guest's mailbox write after enqueue. *)
+  context_swap : Sim.Time.t;
+      (** Paging one hardware context out and another in when guests
+          oversubscribe the NIC's context slots: mailbox-partition copy,
+          ring-register save/restore and firmware-scratch reload, charged
+          to the hypervisor on the faulting guest's path. *)
 }
 
 val default : t

@@ -99,12 +99,42 @@ let set_expected_seqno t ~ctx ~tx ~rx =
   Nic.Dp.set_expected_seqno t.dp ~ctx ~tx ~rx
 
 let free_context t =
+  (* A context can be faulted with [active = false] (halted by a
+     protection fault, not yet deactivated); its seqno/ring state is not
+     reset, so handing it out would poison the next guest. Only a fully
+     reset slot — neither active nor faulted — is free. *)
   let rec scan i =
     if i >= num_contexts then None
-    else if not (Nic.Dp.is_active t.dp ~ctx:i) then Some i
+    else if
+      (not (Nic.Dp.is_active t.dp ~ctx:i))
+      && not (Nic.Dp.is_faulted t.dp ~ctx:i)
+    then Some i
     else scan (i + 1)
   in
   scan 0
+
+(* Context paging: the full per-context hardware image is the datapath's
+   architectural state, the SRAM mailbox partition and the firmware's
+   ring-geometry scratch. *)
+type saved_context = {
+  sc_dp : Nic.Dp.saved_ctx;
+  sc_mailbox : Nic.Mailbox.saved_partition;
+  sc_firmware : Nic.Firmware.saved_scratch;
+}
+
+let save_context t ~ctx =
+  let sc_dp = Nic.Dp.save_context t.dp ~ctx in
+  let sc_mailbox =
+    Nic.Mailbox.save_partition (Nic.Firmware.mailbox t.firmware) ~ctx
+  in
+  let sc_firmware = Nic.Firmware.save_scratch t.firmware ~ctx in
+  { sc_dp; sc_mailbox; sc_firmware }
+
+let restore_context_image t ~ctx s =
+  Nic.Firmware.restore_scratch t.firmware ~ctx s.sc_firmware;
+  Nic.Mailbox.restore_partition (Nic.Firmware.mailbox t.firmware) ~ctx
+    s.sc_mailbox;
+  Nic.Dp.restore_context t.dp ~ctx s.sc_dp
 
 let region t ~ctx = Nic.Firmware.region t.firmware ~ctx
 let driver_if t ~ctx ~mapping = Nic.Firmware.driver_if t.firmware ~ctx ~mapping

@@ -63,7 +63,26 @@ val activate_context : t -> ctx:int -> mac:Ethernet.Mac_addr.t -> unit
 val revoke_context : t -> ctx:int -> unit
 
 val set_expected_seqno : t -> ctx:int -> tx:int -> rx:int -> unit
+
+(** Lowest fully reset slot — neither active nor {e faulted}: a context
+    halted by a protection fault keeps its poisoned seqno/ring state
+    until it is deactivated and must not be handed out. *)
 val free_context : t -> int option
+
+(** Opaque full image of one hardware context (datapath architectural
+    state + SRAM mailbox partition + firmware scratch), the unit of
+    hypervisor-mediated context paging. *)
+type saved_context
+
+(** [save_context t ~ctx] snapshots an active context's image and scrubs
+    the SRAM partition and firmware scratch; the caller must then revoke
+    the context (which resets the datapath slot). *)
+val save_context : t -> ctx:int -> saved_context
+
+(** [restore_context_image t ~ctx s] installs a saved image on a reset
+    slot (any slot — not necessarily the one it was saved from). *)
+val restore_context_image : t -> ctx:int -> saved_context -> unit
+
 val region : t -> ctx:int -> Bus.Mmio.region
 
 (** Driver interface bound to a guest's mapping of its partition. *)

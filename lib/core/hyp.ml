@@ -21,14 +21,21 @@ type ring_state = {
 
 type ctx_handle = {
   nic : Cnic.t;
-  ctx : int;
+  (* Slot the handle currently occupies; changes when context paging moves
+     the guest to a different hardware context. Meaningless while paged
+     out ([resident = false]). *)
+  mutable ctx : int;
   guest : Xen.Domain.t;
   mac : Ethernet.Mac_addr.t;
       (* As recorded at assignment; the NIC forgets it at revocation, but
          migration and recovery must keep presenting the same address. *)
   isr_cost : Sim.Time.t;
-  mapping : Bus.Mmio.mapping;
-  hw : Nic.Driver_if.t;
+  mutable mapping : Bus.Mmio.mapping;
+  (* [hw] is what the guest driver holds: a stable wrapper that faults the
+     context back in before delegating to [hw_live], the interface bound
+     to the current slot/mapping. *)
+  mutable hw : Nic.Driver_if.t;
+  mutable hw_live : Nic.Driver_if.t;
   chan : Xen.Event_channel.t;
   handler : (unit -> unit) ref;
   fault_hook : (unit -> unit) option ref;
@@ -36,6 +43,12 @@ type ctx_handle = {
   tx : ring_state;
   rx : ring_state;
   mutable status_addr : Memory.Addr.t option;
+  (* Context-paging state. *)
+  mutable resident : bool;
+  mutable saved : Cnic.saved_context option;
+  mutable last_use : int; (* LRU clock value of the last hardware access *)
+  (* Ring/status pages granted in IOMMU mode (pins track data pages). *)
+  mutable granted_extra : Memory.Addr.pfn list;
 }
 
 type t = {
@@ -46,6 +59,12 @@ type t = {
   mutable nics : (Cnic.t * ctx_handle option array) list;
   mutable faults : (Host.Category.domain_id * int) list;
   mutable enqueue_calls : int;
+  (* Context oversubscription: when [paging] is on, assignment past the
+     NIC's context count evicts the least-recently-used resident context
+     to a per-guest save area instead of failing. *)
+  mutable paging : bool;
+  mutable use_clock : int;
+  mutable ctx_swaps : int;
 }
 
 let trace t fmt_msg =
@@ -54,7 +73,22 @@ let trace t fmt_msg =
     ~tag:"cdna-hyp" fmt_msg
 
 let create xen ?(costs = Cdna_costs.default) ?(protection = Cdna_costs.Full) () =
-  { xen; costs; protection; iommu = None; nics = []; faults = []; enqueue_calls = 0 }
+  {
+    xen;
+    costs;
+    protection;
+    iommu = None;
+    nics = [];
+    faults = [];
+    enqueue_calls = 0;
+    paging = false;
+    use_clock = 0;
+    ctx_swaps = 0;
+  }
+
+let enable_paging t = t.paging <- true
+let paging_enabled t = t.paging
+let ctx_swaps t = t.ctx_swaps
 
 let protection t = t.protection
 let costs t = t.costs
@@ -139,11 +173,185 @@ let add_nic t nic =
 let fresh_ring_state () =
   { ring = None; prod = 0; seq = 0; pins = Queue.create (); pinned = 0 }
 
+(* ---------- Context paging (oversubscription) ---------- *)
+
+(* Every page the NIC may DMA on this context's behalf: pinned data pages
+   plus ring/status pages. Only consulted in IOMMU protection mode, where
+   grants are keyed by the (slot-derived) DMA context and must move with
+   the guest across slots. *)
+let iommu_all_pfns h =
+  let of_ring rs acc =
+    Queue.fold (fun acc (_, pfns) -> List.rev_append pfns acc) acc rs.pins
+  in
+  of_ring h.tx (of_ring h.rx h.granted_extra)
+
+let iommu_grants_apply t h ~f =
+  match (t.protection, t.iommu) with
+  | Cdna_costs.Iommu, Some iommu ->
+      List.iter
+        (fun pfn -> f iommu ~context:(iommu_ctx h) pfn)
+        (iommu_all_pfns h)
+  | _ -> ()
+
+(* Swap a resident context out to its handle's save area: snapshot the
+   hardware image, revoke the guest's partition mapping, reset the slot.
+   Page pins are kept — the guest still owns its rings and buffers; only
+   the hardware residency changes (paper-style revocation plus SuperNIC's
+   oversubscription argument). *)
+let page_out t victim =
+  let nic = victim.nic in
+  trace t (fun () ->
+      Printf.sprintf "page-out dom%d ctx%d"
+        (Xen.Domain.id victim.guest)
+        victim.ctx);
+  let image = Cnic.save_context nic ~ctx:victim.ctx in
+  Bus.Mmio.revoke victim.mapping;
+  Cnic.revoke_context nic ~ctx:victim.ctx;
+  (* The slot's DMA context will belong to the next occupant: the victim's
+     IOMMU grants must not let the newcomer reach the victim's pages. *)
+  iommu_grants_apply t victim ~f:Memory.Iommu.revoke;
+  let slots = slots_of t nic in
+  slots.(victim.ctx) <- None;
+  victim.saved <- Some image;
+  victim.resident <- false;
+  t.ctx_swaps <- t.ctx_swaps + 1
+
+(* Least-recently-used resident, non-faulted context; ties break to the
+   lowest slot (deterministic). *)
+let pick_victim t nic =
+  let slots = slots_of t nic in
+  let best = ref None in
+  Array.iter
+    (fun slot ->
+      match slot with
+      | Some h
+        when not (Nic.Dp.is_faulted (Cnic.dp nic) ~ctx:h.ctx) -> (
+          match !best with
+          | Some b when b.last_use <= h.last_use -> ()
+          | _ -> best := Some h)
+      | Some _ | None -> ())
+    slots;
+  !best
+
+(* Bring a paged-out context back: free (or steal) a slot, rebind the
+   mapping and live interface, restore the saved image, and charge the
+   swap work to the faulting guest as hypervisor time. *)
+let page_in t h =
+  let nic = h.nic in
+  let evicted =
+    match Cnic.free_context nic with
+    | Some _ -> false
+    | None -> (
+        match pick_victim t nic with
+        | Some v ->
+            page_out t v;
+            true
+        | None -> invalid_arg "Cdna.Hyp: no evictable context")
+  in
+  let ctx =
+    match Cnic.free_context nic with
+    | Some c -> c
+    | None -> invalid_arg "Cdna.Hyp: no free context after eviction"
+  in
+  let image =
+    match h.saved with
+    | Some s -> s
+    | None -> invalid_arg "Cdna.Hyp: page_in without saved image"
+  in
+  h.saved <- None;
+  h.ctx <- ctx;
+  h.mapping <- Bus.Mmio.map (Cnic.region nic ~ctx);
+  h.hw_live <- Cnic.driver_if nic ~ctx ~mapping:h.mapping;
+  (* Grants must be installed before the restore kicks the DMA engines. *)
+  iommu_grants_apply t h ~f:Memory.Iommu.grant;
+  Cnic.restore_context_image nic ~ctx image;
+  let slots = slots_of t nic in
+  slots.(ctx) <- Some h;
+  h.resident <- true;
+  t.ctx_swaps <- t.ctx_swaps + 1;
+  trace t (fun () ->
+      Printf.sprintf "page-in dom%d -> ctx%d%s"
+        (Xen.Domain.id h.guest)
+        ctx
+        (if evicted then " (evicted lru)" else ""));
+  (* The restore itself is instantaneous hardware state surgery; its CPU
+     cost (partition copy, register writes) is charged post-hoc on the
+     guest's vcpu, like the unpin delta in [enqueue]. *)
+  let n_swaps = if evicted then 2 else 1 in
+  Xen.Hypervisor.hypercall t.xen ~from:h.guest
+    ~cost:(Sim.Time.mul_int t.costs.Cdna_costs.context_swap n_swaps)
+    (fun () -> ())
+
+(* Touch the LRU clock and fault the context in if it is paged out. Every
+   hardware access from the guest driver goes through here. *)
+let ensure_resident t h =
+  t.use_clock <- t.use_clock + 1;
+  h.last_use <- t.use_clock;
+  if (not h.resident) && not h.revoked then page_in t h
+
+(* The stable driver-facing interface: delegates every hardware operation
+   to the context's current live binding, faulting it in first. *)
+let wrap t h : Nic.Driver_if.t =
+  {
+    Nic.Driver_if.describe = h.hw_live.Nic.Driver_if.describe;
+    desc_layout = h.hw_live.Nic.Driver_if.desc_layout;
+    setup_tx_ring =
+      (fun ring ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.setup_tx_ring ring);
+    setup_rx_ring =
+      (fun ring ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.setup_rx_ring ring);
+    setup_status =
+      (fun addr ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.setup_status addr);
+    tx_doorbell =
+      (fun prod ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.tx_doorbell prod);
+    rx_doorbell =
+      (fun prod ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.rx_doorbell prod);
+    stage_tx_meta =
+      (fun frame ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.stage_tx_meta frame);
+    take_tx_completions =
+      (fun () ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.take_tx_completions ());
+    take_rx_completions =
+      (fun ~max ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.take_rx_completions ~max);
+    rx_completions_pending =
+      (fun () ->
+        ensure_resident t h;
+        h.hw_live.Nic.Driver_if.rx_completions_pending ());
+  }
+
 let assign_context t ~nic ~guest ~mac ~isr_cost =
   let slots = slots_of t nic in
-  match Cnic.free_context nic with
+  let slot =
+    match Cnic.free_context nic with
+    | Some ctx -> Some (ctx, false)
+    | None ->
+        if not t.paging then None
+        else (
+          match pick_victim t nic with
+          | None -> None
+          | Some v -> (
+              page_out t v;
+              match Cnic.free_context nic with
+              | Some ctx -> Some (ctx, true)
+              | None -> None))
+  in
+  match slot with
   | None -> Error `No_free_context
-  | Some ctx ->
+  | Some (ctx, evicted) ->
       let mapping = Bus.Mmio.map (Cnic.region nic ~ctx) in
       let handler = ref (fun () -> ()) in
       let chan =
@@ -152,6 +360,8 @@ let assign_context t ~nic ~guest ~mac ~isr_cost =
       in
       Cnic.activate_context nic ~ctx ~mac;
       Cnic.set_expected_seqno nic ~ctx ~tx:0 ~rx:0;
+      let live = Cnic.driver_if nic ~ctx ~mapping in
+      t.use_clock <- t.use_clock + 1;
       let h =
         {
           nic;
@@ -160,7 +370,8 @@ let assign_context t ~nic ~guest ~mac ~isr_cost =
           mac;
           isr_cost;
           mapping;
-          hw = Cnic.driver_if nic ~ctx ~mapping;
+          hw = live;
+          hw_live = live;
           chan;
           handler;
           fault_hook = ref None;
@@ -168,9 +379,17 @@ let assign_context t ~nic ~guest ~mac ~isr_cost =
           tx = fresh_ring_state ();
           rx = fresh_ring_state ();
           status_addr = None;
+          resident = true;
+          saved = None;
+          last_use = t.use_clock;
+          granted_extra = [];
         }
       in
+      h.hw <- wrap t h;
       slots.(ctx) <- Some h;
+      if evicted then
+        Xen.Hypervisor.hypercall t.xen ~from:guest
+          ~cost:t.costs.Cdna_costs.context_swap (fun () -> ());
       Ok h
 
 let set_event_handler h f = h.handler := f
@@ -185,10 +404,14 @@ let unpin_all t h rs =
           match t.protection with
           | Cdna_costs.Full -> Memory.Phys_mem.put_ref mem pfn
           | Cdna_costs.Iommu -> (
-              match t.iommu with
-              | Some iommu ->
-                  Memory.Iommu.revoke iommu ~context:(iommu_ctx h) pfn
-              | None -> ())
+              (* A paged-out context's grants were already revoked when it
+                 left its slot; the slot id it remembers may belong to
+                 another guest by now. *)
+              if h.resident then
+                match t.iommu with
+                | Some iommu ->
+                    Memory.Iommu.revoke iommu ~context:(iommu_ctx h) pfn
+                | None -> ())
           | Cdna_costs.Disabled -> ())
         pfns)
     rs.pins;
@@ -198,12 +421,17 @@ let unpin_all t h rs =
 let revoke t h =
   if not h.revoked then begin
     h.revoked <- true;
-    Bus.Mmio.revoke h.mapping;
-    Cnic.revoke_context h.nic ~ctx:h.ctx;
+    if h.resident then begin
+      Bus.Mmio.revoke h.mapping;
+      Cnic.revoke_context h.nic ~ctx:h.ctx
+    end
+    else h.saved <- None;
     unpin_all t h h.tx;
     unpin_all t h h.rx;
-    let slots = slots_of t h.nic in
-    slots.(h.ctx) <- None
+    if h.resident then begin
+      let slots = slots_of t h.nic in
+      slots.(h.ctx) <- None
+    end
   end
 
 let migrate t h ~to_nic =
@@ -281,6 +509,7 @@ let register_ring t h dir ~base ~slots k =
   Xen.Hypervisor.hypercall t.xen ~from:h.guest ~cost (fun () ->
       if h.revoked then k (Error `Revoked)
       else begin
+        ensure_resident t h;
         (* The NIC told us its descriptor format (paper 3.4); rings are
            laid out with its stride. *)
         let layout = Cnic.desc_layout h.nic in
@@ -312,7 +541,8 @@ let register_ring t h dir ~base ~slots k =
             | Cdna_costs.Iommu, Some iommu ->
                 List.iter
                   (fun pfn -> Memory.Iommu.grant iommu ~context:(iommu_ctx h) pfn)
-                  pfns
+                  pfns;
+                h.granted_extra <- pfns @ h.granted_extra
             | _ -> ());
             k (Ok ())
       end)
@@ -321,7 +551,8 @@ let register_status t h ~addr k =
   let cost = t.costs.Cdna_costs.map_context in
   Xen.Hypervisor.hypercall t.xen ~from:h.guest ~cost (fun () ->
       if h.revoked then k (Error `Revoked)
-      else
+      else begin
+        ensure_resident t h;
         match
           if t.protection = Cdna_costs.Disabled then Ok ()
           else validate_pages t h [ Memory.Addr.pfn_of addr ]
@@ -333,9 +564,12 @@ let register_status t h ~addr k =
             (match t.protection, t.iommu with
             | Cdna_costs.Iommu, Some iommu ->
                 Memory.Iommu.grant iommu ~context:(iommu_ctx h)
-                  (Memory.Addr.pfn_of addr)
+                  (Memory.Addr.pfn_of addr);
+                h.granted_extra <-
+                  Memory.Addr.pfn_of addr :: h.granted_extra
             | _ -> ());
-            k (Ok ()))
+            k (Ok ())
+      end)
 
 (* Consumer index for a direction, as last written back by the NIC. *)
 let consumer t h dir =
@@ -362,10 +596,12 @@ let process_completions t h dir =
             match t.protection with
             | Cdna_costs.Full -> Memory.Phys_mem.put_ref (mem t) pfn
             | Cdna_costs.Iommu -> (
-                match t.iommu with
-                | Some iommu ->
-                    Memory.Iommu.revoke iommu ~context:(iommu_ctx h) pfn
-                | None -> ())
+                (* Paged-out contexts have no live grants to drop. *)
+                if h.resident then
+                  match t.iommu with
+                  | Some iommu ->
+                      Memory.Iommu.revoke iommu ~context:(iommu_ctx h) pfn
+                  | None -> ())
             | Cdna_costs.Disabled -> ())
           pfns;
         rs.pinned <- rs.pinned - List.length pfns
@@ -467,14 +703,16 @@ let enqueue t h dir descs k =
                         Queue.push (idx, pfns) rs.pins;
                         rs.pinned <- rs.pinned + List.length pfns
                     | Cdna_costs.Iommu ->
+                        (* Grants for a paged-out context are deferred to
+                           page-in, which re-grants every pin. *)
                         (match t.iommu with
-                        | Some iommu ->
+                        | Some iommu when h.resident ->
                             List.iter
                               (fun pfn ->
                                 Memory.Iommu.grant iommu
                                   ~context:(iommu_ctx h) pfn)
                               pfns
-                        | None -> ());
+                        | Some _ | None -> ());
                         Queue.push (idx, pfns) rs.pins;
                         rs.pinned <- rs.pinned + List.length pfns
                     | Cdna_costs.Disabled -> ());
@@ -505,6 +743,10 @@ let enqueue_calls t = t.enqueue_calls
 let register_metrics t m =
   Sim.Metrics.gauge m "cdna.enqueue_calls" (fun () -> t.enqueue_calls);
   Sim.Metrics.gauge m "cdna.faults" (fun () -> List.length t.faults);
+  (* Only present under oversubscription, so legacy (non-paging) metric
+     snapshots are unchanged. *)
+  if t.paging then
+    Sim.Metrics.gauge m "cdna.ctx_swaps" (fun () -> t.ctx_swaps);
   (* NICs are numbered in registration order; the slot array is stable, so
      the gauges keep reading the live handle (or 0 after revocation). *)
   List.iteri

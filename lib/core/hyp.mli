@@ -37,6 +37,30 @@ val protection : t -> Cdna_costs.protection
 val costs : t -> Cdna_costs.t
 val xen : t -> Xen.Hypervisor.t
 
+(** {1 Context oversubscription (paging)}
+
+    With paging enabled, {!assign_context} no longer fails when every
+    hardware context is taken: the least-recently-used resident context is
+    {e paged out} — its full hardware image (mailbox partition, ring
+    registers, expected seqnos, firmware scratch) saved to a per-guest
+    area, its partition mapping revoked, the slot reset. The next hardware
+    access by the paged-out guest faults the context back in on a free (or
+    freshly evicted) slot, transparently to the guest driver: transmit
+    state is restored losslessly, receive losses are recovered by peer
+    retransmission. Each save or restore costs
+    {!Cdna_costs.t.context_swap} of hypervisor time, charged to the guest
+    whose access triggered the swap. *)
+
+(** Allow more guests than hardware contexts on every registered NIC. *)
+val enable_paging : t -> unit
+
+val paging_enabled : t -> bool
+
+(** Context save/restore operations performed so far (a swap that evicts
+    a victim and restores another image counts as two). Also exposed as
+    the [cdna.ctx_swaps] gauge when paging is enabled. *)
+val ctx_swaps : t -> int
+
 (** [add_nic t nic] registers a CDNA NIC: routes its physical interrupt
     into the bit-vector decode path, and (in [Iommu] mode) installs the
     IOMMU on the shared DMA engine for the NIC's contexts. *)

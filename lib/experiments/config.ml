@@ -6,6 +6,7 @@ type t = {
   nic : nic_kind;
   nics : int;
   guests : int;
+  cpus : int;
   driver_weight : int;
   pattern : Workload.Pattern.t;
   conns_per_guest_per_nic : int;
@@ -25,6 +26,7 @@ let default =
     nic = Ricenic;
     nics = 2;
     guests = 1;
+    cpus = 1;
     driver_weight = 256;
     pattern = Workload.Pattern.Tx;
     conns_per_guest_per_nic = 2;

@@ -16,6 +16,10 @@ type t = {
   nic : nic_kind;  (** NIC used by Native/Xen_sw; CDNA always uses RiceNIC. *)
   nics : int;  (** Physical NICs (2 in Tables 2-4, 6 in Table 1). *)
   guests : int;
+  cpus : int;
+      (** Host CPUs, each with its own credit runqueue (1 = the paper's
+          single-CPU testbed, event-for-event identical to the historical
+          scheduler). *)
   driver_weight : int;
       (** Credit-scheduler weight of the driver domain (guests use 256).
           The paper-era tuning question: should dom0 be favoured? *)

@@ -10,6 +10,8 @@ type t = {
   nic_evtchn_isr : Sim.Time.t;
   native_isr : Sim.Time.t;
   intr_min_gap : Sim.Time.t;
+  cpu_migration : Sim.Time.t;
+      (* IPI delivery + cold-cache refill when a vcpu wakes on another CPU *)
 }
 
 (* Guest OS costs on the paravirtualized (netfront) path. *)
@@ -101,6 +103,7 @@ let cdna_costs =
     intr_decode_fixed = us 0.45;
     map_context = us 20.;
     pio_doorbell = us 0.12;
+    context_swap = us 45.;
   }
 
 let base ~nic_kind =
@@ -122,6 +125,7 @@ let base ~nic_kind =
       (match nic_kind with
       | Config.Intel -> us 240.
       | Config.Ricenic -> us 140.);
+    cpu_migration = us 9.;
   }
 
 (* The CDNA interrupt path is a short bit-vector decode, without Xen's

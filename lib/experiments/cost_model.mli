@@ -28,6 +28,9 @@ type t = {
   nic_evtchn_isr : Sim.Time.t;  (** Driver-domain NIC virq entry cost. *)
   native_isr : Sim.Time.t;  (** Bare-metal ISR cost (no hypervisor). *)
   intr_min_gap : Sim.Time.t;  (** NIC interrupt-coalescing gap. *)
+  cpu_migration : Sim.Time.t;
+      (** IPI delivery + cold-cache refill charged when a vcpu wakes on a
+          different CPU of an SMP host. *)
 }
 
 (** Calibrated parameters for an assembly. *)

@@ -1,0 +1,60 @@
+(** Guest-count scaling beyond the paper (the [scale-guests] sweep).
+
+    The paper's Figure 3/4 stops at 24 guests — below the NIC's 32
+    hardware contexts, so every CDNA guest always holds a context. This
+    sweep keeps going: with hypervisor-mediated context paging
+    ({!Cdna.Hyp.enable_paging}, turned on by {!Testbed} whenever
+    [guests > Cdna.Cnic.num_contexts]) hundreds of guests can share the 32
+    contexts, at the price of {!Cdna.Cdna_costs.t.context_swap} hypervisor
+    work per context save/restore. Points are measured for both CDNA and
+    Xen software I/O across a guests × host-CPUs grid; the interesting
+    output is the {e crossover} — the guest count at which swap overhead
+    (plus lost receive traffic while paged out) eats CDNA's advantage.
+
+    Single-CPU points at or below 32 guests are the degenerate case and
+    reproduce the pre-paging scheduler and datapath event-for-event. *)
+
+type point = {
+  guests : int;
+  cpus : int;
+  xen : Run.measurement;
+  cdna : Run.measurement;
+  ctx_swaps : int;
+      (** CDNA context save/restore operations during the measured window. *)
+}
+
+(** The paper's oversubscription-free guest counts (all ≤ 24). *)
+val paper_guest_counts : int list
+
+(** 8..256 guests: through the 32-context boundary and well past it. *)
+val default_guest_counts : int list
+
+val default_cpu_counts : int list
+
+(** [sweep ()] measures every (cpus, guests) cell, CDNA and Xen_sw each.
+    Runs are sequential and deterministic; the result list is ordered by
+    CPU count, then guest count. Each run is driven through the sharded
+    engine (one LP), so results are byte-identical for every [shards]
+    value. *)
+val sweep :
+  ?quick:bool ->
+  ?shards:int ->
+  ?pattern:Workload.Pattern.t ->
+  ?guest_counts:int list ->
+  ?cpu_counts:int list ->
+  unit ->
+  point list
+
+(** Smallest guest count at which CDNA throughput falls to or below
+    Xen's, for the given CPU count. *)
+val crossover : point list -> cpus:int -> int option
+
+val swaps_per_sec : point -> float
+
+(** Table of every point plus the per-CPU-count crossover summary. *)
+val print_table : point list -> unit
+
+(** ASCII chart of one CPU count's CDNA-vs-Xen series. *)
+val chart : point list -> cpus:int -> string
+
+val csv : point list -> string

@@ -342,6 +342,12 @@ let build_cdna b =
     Cdna.Hyp.create b.b_xen ~costs:b.cm.Cost_model.cdna
       ~protection:cfg.Config.protection ()
   in
+  (* More guests than hardware contexts per NIC: let the hypervisor page
+     contexts in and out instead of failing assignment. Gated so the
+     at-capacity configurations keep their exact historical behaviour
+     (including the metric set). *)
+  if cfg.Config.guests > Cdna.Cnic.num_contexts then
+    Cdna.Hyp.enable_paging cdna_hyp;
   let cdna_cfg =
     {
       Cdna.Cnic.default_config with
@@ -419,7 +425,10 @@ let build (cfg : Config.t) =
   let cm = Cost_model.for_config cfg.Config.system cfg.Config.nic in
   let engine = Sim.Engine.create () in
   let profile = Host.Profile.create () in
-  let cpu = Host.Cpu.create engine ~profile () in
+  let cpu =
+    Host.Cpu.create engine ~cpus:cfg.Config.cpus
+      ~migration_cost:cm.Cost_model.cpu_migration ~profile ()
+  in
   let total_pages = 65536 + (cfg.Config.guests * 10240) + (cfg.Config.nics * 4096) in
   let mem = Memory.Phys_mem.create ~total_pages () in
   let xen = Xen.Hypervisor.create engine ~cpu ~mem ~costs:cm.Cost_model.xen () in

@@ -84,9 +84,21 @@ type t = {
   (* ctx id, epoch, frame, reserved bytes, descriptors consumed *)
   mutable fetch_busy : bool;
   mutable fetch_ctx : int option; (* context the in-flight fetch serves *)
+  (* Whether the in-flight fetch already consumed a sequence number (its
+     descriptor passed [check_seqno] and the payload DMA is in flight).
+     Context save needs this to roll the expected seqno back exactly. *)
+  mutable fetch_checked : bool;
   mutable wire_busy : bool;
+  (* (ctx id, epoch, descriptors) of the frame currently on the wire;
+     context save credits it as completed since the bits are already
+     leaving the NIC. *)
+  mutable wire_cur : (int * int * int) option;
   mutable tx_rr : int;
   mutable rx_busy : bool;
+  (* (ctx id, epoch) of the in-flight receive delivery, and whether its
+     descriptor already consumed a sequence number. *)
+  mutable rx_cur : (int * int) option;
+  mutable rx_cur_checked : bool;
   mutable rx_rr : int;
   mutable congested : bool;
   mutable uncongested_hook : unit -> unit;
@@ -152,9 +164,13 @@ let create engine ~mem ~dma ~config ~contexts ~dma_context_base ~notify
     ready = Queue.create ();
     fetch_busy = false;
     fetch_ctx = None;
+    fetch_checked = false;
     wire_busy = false;
+    wire_cur = None;
     tx_rr = 0;
     rx_busy = false;
+    rx_cur = None;
+    rx_cur_checked = false;
     rx_rr = 0;
     congested = false;
     uncongested_hook = (fun () -> ());
@@ -304,6 +320,7 @@ let rec run_tx_fetch t =
           t.tx_rr <- c.id;
           t.fetch_busy <- true;
           t.fetch_ctx <- Some c.id;
+          t.fetch_checked <- false;
           let epoch = c.epoch in
           let idx = c.tx_fetch_next in
           c.tx_fetch_next <- idx + 1;
@@ -335,6 +352,7 @@ and fetch_descriptor_done t c ~epoch ~daddr res =
         in
         if not (check_seqno t c Tx desc) then abandon_fetch t c
         else begin
+          t.fetch_checked <- true;
           let fetch_payload k =
             if t.cfg.Nic_config.materialize_payloads then begin
               (* Fragment bytes land directly in the assembly buffer at
@@ -436,9 +454,11 @@ and run_tx_wire t =
             end
             else begin
               t.wire_busy <- true;
+              t.wire_cur <- Some (cid, epoch, n_descs);
               Ethernet.Link.send link ~from:side frame
                 ~on_wire_free:(fun () ->
                   t.wire_busy <- false;
+                  t.wire_cur <- None;
                   Pkt_buf.release t.tx_buf ~bytes:reserved;
                   t.s_tx_frames <- t.s_tx_frames + 1;
                   t.s_tx_bytes <- t.s_tx_bytes + frame.Ethernet.Frame.payload_len;
@@ -488,6 +508,8 @@ let rec run_rx t =
         else begin
           let idx = c.rx_use_next in
           c.rx_use_next <- idx + 1;
+          t.rx_cur <- Some (c.id, epoch);
+          t.rx_cur_checked <- false;
           let ring = Option.get c.rx_ring in
           let daddr = Ring.slot_addr ring idx in
           Bus.Dma_engine.access t.dma ~context:(dma_ctx t c) ~addr:daddr
@@ -498,6 +520,7 @@ let rec run_rx t =
 and rx_abandon t frame =
   release_rx_bytes t (Ethernet.Frame.wire_bytes frame);
   t.rx_busy <- false;
+  t.rx_cur <- None;
   run_rx t
 
 and rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res =
@@ -513,6 +536,7 @@ and rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res =
         in
         if not (check_seqno t c Rx desc) then rx_abandon t frame
         else begin
+          t.rx_cur_checked <- true;
           let len = min frame.Ethernet.Frame.payload_len desc.len in
           let deliver res =
             if c.epoch <> epoch then rx_abandon t frame
@@ -543,6 +567,7 @@ and rx_descriptor_done t c ~epoch ~idx ~daddr ~frame res =
                   writeback_status t c;
                   t.notify ~ctx:c.id;
                   t.rx_busy <- false;
+                  t.rx_cur <- None;
                   run_rx t
           in
           if t.cfg.Nic_config.materialize_payloads then begin
@@ -653,6 +678,148 @@ let deactivate t ~ctx:i =
     c.tx_expected_seqno <- 0;
     c.rx_expected_seqno <- 0
   end
+
+(* ---------- Context paging (save/restore) ---------- *)
+
+type saved_ctx = {
+  sv_mac : Ethernet.Mac_addr.t option;
+  sv_tx_ring : Ring.t option;
+  sv_rx_ring : Ring.t option;
+  sv_status_addr : Memory.Addr.t option;
+  sv_tx_prod : int;
+  sv_tx_fetch_next : int;
+  sv_tx_cons : int;
+  sv_rx_prod : int;
+  sv_rx_use_next : int;
+  sv_rx_cons : int;
+  sv_tx_expected_seqno : int;
+  sv_rx_expected_seqno : int;
+  sv_tx_meta : Ethernet.Frame.t list;
+  sv_tx_completed_unread : int;
+  sv_rx_completions : (int * Ethernet.Frame.t) list;
+  sv_tx_frames : int;
+  sv_rx_frames : int;
+}
+
+(* Snapshot a context's architectural state so the hypervisor can page it
+   out and later restore it on any free slot, without losing transmit
+   work. Read-only: the caller revokes/deactivates the slot afterwards,
+   and the normal epoch machinery unwinds whatever is in flight.
+
+   Transmit must be lossless — guests have no retransmit path — so the
+   fetch cursor and expected seqno are rolled back over everything the
+   engine consumed but did not finish wiring: staged ready-FIFO packets
+   (their metas are re-staged for the restore), partially assembled
+   scatter/gather fragments, and the in-flight descriptor fetch if any.
+   The one frame currently on the wire is instead credited as completed:
+   its bits are already leaving the NIC, and its completion callback will
+   observe the epoch bump and skip the accounting we do here. Receive is
+   allowed to be lossy (peers retransmit); only an in-flight descriptor
+   fetch that has not yet consumed a seqno rolls the cursor back, keeping
+   cursor and seqno in lockstep. *)
+let save_context t ~ctx:i =
+  let c = ctx t i in
+  if not c.active then invalid_arg "Dp.save_context: context not active";
+  if c.faulted then invalid_arg "Dp.save_context: context faulted";
+  let ready_descs = ref 0 and ready_frames = ref [] in
+  Queue.iter
+    (fun (cid, ep, frame, _reserved, n) ->
+      if Int.equal cid i && ep = c.epoch then begin
+        ready_descs := !ready_descs + n;
+        ready_frames := frame :: !ready_frames
+      end)
+    t.ready;
+  let ready_frames = List.rev !ready_frames in
+  let in_fetch =
+    t.fetch_busy
+    && match t.fetch_ctx with Some j -> Int.equal j i | None -> false
+  in
+  let rollback_cursor =
+    !ready_descs + c.sg_frag_descs + (if in_fetch then 1 else 0)
+  in
+  let rollback_seq =
+    !ready_descs + c.sg_frag_descs
+    + (if in_fetch && t.fetch_checked then 1 else 0)
+  in
+  let rx_unchecked =
+    match t.rx_cur with
+    | Some (j, ep) -> Int.equal j i && ep = c.epoch && not t.rx_cur_checked
+    | None -> false
+  in
+  let wire_descs =
+    match t.wire_cur with
+    | Some (j, ep, n) when Int.equal j i && ep = c.epoch -> n
+    | Some _ | None -> 0
+  in
+  let seq_back s r = (((s - r) mod seqno_mod) + seqno_mod) mod seqno_mod in
+  trace_event t ~tid:i
+    ~args:
+      [
+        ("ctx", Sim.Trace.Int i);
+        ("rollback_descs", Sim.Trace.Int rollback_cursor);
+      ]
+    "ctx-save";
+  {
+    sv_mac = c.mac;
+    sv_tx_ring = c.tx_ring;
+    sv_rx_ring = c.rx_ring;
+    sv_status_addr = c.status_addr;
+    sv_tx_prod = c.tx_prod;
+    sv_tx_fetch_next = c.tx_fetch_next - rollback_cursor;
+    sv_tx_cons = c.tx_cons + wire_descs;
+    sv_rx_prod = c.rx_prod;
+    sv_rx_use_next = c.rx_use_next - (if rx_unchecked then 1 else 0);
+    sv_rx_cons = c.rx_cons;
+    sv_tx_expected_seqno = seq_back c.tx_expected_seqno rollback_seq;
+    sv_rx_expected_seqno = c.rx_expected_seqno;
+    sv_tx_meta = ready_frames @ List.of_seq (Queue.to_seq c.tx_meta);
+    sv_tx_completed_unread = c.tx_completed_unread + wire_descs;
+    sv_rx_completions = List.of_seq (Queue.to_seq c.rx_completions);
+    sv_tx_frames = c.tx_frames + (if wire_descs > 0 then 1 else 0);
+    sv_rx_frames = c.rx_frames;
+  }
+
+(* Install a saved image on a fully reset slot. The ring geometry, the
+   cursors and the expected seqnos are written directly (hardware-side
+   restore, not driver doorbells — the doorbell paths reject producer
+   rewinds by design), then the engines are kicked to resume exactly
+   where the save left off. *)
+let restore_context t ~ctx:i s =
+  let c = ctx t i in
+  if c.active || c.faulted then
+    invalid_arg "Dp.restore_context: slot not reset";
+  trace_event t ~tid:i ~args:[ ("ctx", Sim.Trace.Int i) ] "ctx-restore";
+  c.active <- true;
+  c.faulted <- false;
+  c.mac <- s.sv_mac;
+  (match s.sv_mac with
+  | Some mac -> Hashtbl.replace t.mac_table mac i
+  | None -> ());
+  c.tx_ring <- s.sv_tx_ring;
+  c.rx_ring <- s.sv_rx_ring;
+  c.status_addr <- s.sv_status_addr;
+  c.tx_prod <- s.sv_tx_prod;
+  c.tx_fetch_next <- s.sv_tx_fetch_next;
+  c.tx_cons <- s.sv_tx_cons;
+  c.rx_prod <- s.sv_rx_prod;
+  c.rx_use_next <- s.sv_rx_use_next;
+  c.rx_cons <- s.sv_rx_cons;
+  c.tx_expected_seqno <- s.sv_tx_expected_seqno;
+  c.rx_expected_seqno <- s.sv_rx_expected_seqno;
+  List.iter (fun f -> Queue.push f c.tx_meta) s.sv_tx_meta;
+  c.tx_completed_unread <- s.sv_tx_completed_unread;
+  List.iter (fun it -> Queue.push it c.rx_completions) s.sv_rx_completions;
+  c.tx_frames <- s.sv_tx_frames;
+  c.rx_frames <- s.sv_rx_frames;
+  (* Completions that were pending at save time may have had their
+     interrupt consumed before the swap; re-notify so the driver drains
+     them (coalescing absorbs any redundancy). *)
+  if
+    s.sv_tx_completed_unread > 0
+    || (match s.sv_rx_completions with [] -> false | _ :: _ -> true)
+  then t.notify ~ctx:i;
+  run_tx_fetch t;
+  run_rx t
 
 let is_active t ~ctx:i = (ctx t i).active
 let mac_of t ~ctx:i = (ctx t i).mac

@@ -75,6 +75,28 @@ val activate : t -> ctx:int -> mac:Ethernet.Mac_addr.t -> unit
     in-flight DMA abandoned, queued completions dropped. Idempotent. *)
 val deactivate : t -> ctx:int -> unit
 
+(** Opaque architectural image of one context, for hypervisor-mediated
+    context paging when guests oversubscribe the hardware contexts. *)
+type saved_ctx
+
+(** [save_context t ~ctx] snapshots an active context's rings, cursors,
+    expected seqnos, staged metadata and unread completions. Read-only —
+    the caller must still revoke/deactivate the slot, whose epoch bump
+    unwinds in-flight work. Transmit state is rolled back losslessly over
+    staged-but-unwired packets (they are re-fetched after restore); the
+    frame currently on the wire, if this context's, is credited as
+    completed. Receive losses are left to peer retransmission.
+    @raise Invalid_argument if the context is inactive or faulted. *)
+val save_context : t -> ctx:int -> saved_ctx
+
+(** [restore_context t ~ctx s] installs a saved image on a reset slot and
+    kicks the engines: transmission resumes exactly where the save left
+    off. Cursors and seqnos are written hardware-side (not through the
+    doorbell paths, which reject producer rewinds). Pending completions
+    re-notify the wrapper.
+    @raise Invalid_argument if the slot is active or faulted. *)
+val restore_context : t -> ctx:int -> saved_ctx -> unit
+
 val is_active : t -> ctx:int -> bool
 val mac_of : t -> ctx:int -> Ethernet.Mac_addr.t option
 

@@ -99,4 +99,18 @@ let driver_if t ~ctx ~mapping : Driver_if.t =
     rx_completions_pending = (fun () -> Dp.rx_completions_pending t.dp ~ctx);
   }
 
+type saved_scratch = { saved_tx_slots : int; saved_rx_slots : int }
+
+let save_scratch t ~ctx =
+  let s =
+    { saved_tx_slots = t.tx_slots.(ctx); saved_rx_slots = t.rx_slots.(ctx) }
+  in
+  t.tx_slots.(ctx) <- 0;
+  t.rx_slots.(ctx) <- 0;
+  s
+
+let restore_scratch t ~ctx s =
+  t.tx_slots.(ctx) <- s.saved_tx_slots;
+  t.rx_slots.(ctx) <- s.saved_rx_slots
+
 let events_processed t = t.processed

@@ -88,6 +88,32 @@ let clear_context t ~ctx =
   t.box_vectors.(ctx) <- 0;
   t.ctx_vector <- t.ctx_vector land lnot (1 lsl ctx)
 
+type saved_partition = { saved_words : int array; saved_boxes : int }
+
+let save_partition t ~ctx =
+  check_ctx t ctx;
+  let s =
+    { saved_words = Array.copy t.words.(ctx); saved_boxes = t.box_vectors.(ctx) }
+  in
+  (* Scrub the partition so the next resident guest cannot read the
+     victim's words (page isolation), and drop its pending events from
+     the live hierarchy — they travel with the save area. *)
+  Array.fill t.words.(ctx) 0 (Array.length t.words.(ctx)) 0;
+  clear_context t ~ctx;
+  s
+
+let restore_partition t ~ctx s =
+  check_ctx t ctx;
+  Array.blit s.saved_words 0 t.words.(ctx) 0 (Array.length s.saved_words);
+  if s.saved_boxes <> 0 then begin
+    t.box_vectors.(ctx) <- s.saved_boxes;
+    t.ctx_vector <- t.ctx_vector lor (1 lsl ctx);
+    (* Re-arm the firmware's event processing for the restored pending
+       mailboxes. The hardware-event counter is not bumped: no new PIO
+       write happened. *)
+    t.on_event ()
+  end
+
 let events_generated t = t.events
 
 let register_metrics t m ~labels =

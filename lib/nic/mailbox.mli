@@ -57,6 +57,21 @@ val clear_event : t -> ctx:int -> mbox:int -> unit
     hardware supports multi-event clear messages). *)
 val clear_context : t -> ctx:int -> unit
 
+(** Opaque image of one partition: word contents plus pending-event bits.
+    Used by hypervisor-mediated context paging when guests oversubscribe
+    the hardware contexts. *)
+type saved_partition
+
+(** [save_partition t ~ctx] copies the partition's words and pending-event
+    bits into a save area, then zeroes the partition and clears its events
+    — the next guest mapped onto [ctx] must not observe the victim's data. *)
+val save_partition : t -> ctx:int -> saved_partition
+
+(** [restore_partition t ~ctx s] writes a saved image back into partition
+    [ctx]. Pending events saved with the image are re-armed (and [on_event]
+    fired) without counting as new hardware events. *)
+val restore_partition : t -> ctx:int -> saved_partition -> unit
+
 (** Total mailbox-write events generated so far. *)
 val events_generated : t -> int
 

@@ -22,6 +22,7 @@ let create engine ~cpu ~mem ?(costs = Costs.default) () =
   }
 
 let engine t = t.engine
+let stop t = Host.Cpu.stop t.cpu
 let cpu t = t.cpu
 let mem t = t.mem
 let costs t = t.costs

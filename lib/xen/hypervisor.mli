@@ -21,6 +21,11 @@ val create :
   t
 
 val engine : t -> Sim.Engine.t
+
+(** Cancel the scheduler's self-rescheduling credit-replenish timer so a
+    finished simulation's event queue can drain to empty. *)
+val stop : t -> unit
+
 val cpu : t -> Host.Cpu.t
 val mem : t -> Memory.Phys_mem.t
 val costs : t -> Costs.t

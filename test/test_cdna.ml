@@ -235,6 +235,61 @@ let test_hyp_revoke_frees_context () =
   let h2 = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
   check_int "same slot reassigned" ctx (Cdna.Hyp.ctx_id h2)
 
+let test_faulted_slot_withheld_until_reset () =
+  let fx = fixture () in
+  let h = assign fx ~mac_idx:1 () in
+  setup_rings fx h;
+  let ctx = Cdna.Hyp.ctx_id h in
+  let dp = Cdna.Cnic.dp fx.nic in
+  let hw = Cdna.Hyp.driver_if h in
+  (* Halt the context: doorbell past the last hypervisor-stamped
+     descriptor, so the NIC's sequence check fires. *)
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k)
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "enqueue failed");
+  hw.Nic.Driver_if.stage_tx_meta (meta_frame h ~seq:0);
+  hw.Nic.Driver_if.stage_tx_meta (meta_frame h ~seq:1);
+  hw.Nic.Driver_if.tx_doorbell 2;
+  run fx 5;
+  check_bool "context halted" true (Nic.Dp.is_faulted dp ~ctx);
+  (* The halted slot keeps its poisoned seqno/ring state until it is
+     deactivated: allocation must withhold it, whatever its active flag
+     says. *)
+  (match Cdna.Cnic.free_context fx.nic with
+  | Some s -> check_bool "faulted slot withheld" true (s <> ctx)
+  | None -> Alcotest.fail "expected free slots");
+  let other = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
+  check_bool "new assignment avoids the halted slot" true
+    (Cdna.Hyp.ctx_id other <> ctx);
+  (* Deactivation fully resets the slot; only then may it be handed out. *)
+  Cdna.Hyp.revoke fx.cdna h;
+  check_bool "reset clears the fault latch" false (Nic.Dp.is_faulted dp ~ctx);
+  (match Cdna.Cnic.free_context fx.nic with
+  | Some s -> check_int "reset slot is free again" ctx s
+  | None -> Alcotest.fail "expected free slots");
+  let fresh = assign fx ~mac_idx:3 () in
+  check_int "slot reused" ctx (Cdna.Hyp.ctx_id fresh);
+  setup_rings fx fresh;
+  let tx_before = (Cdna.Cnic.stats fx.nic).Nic.Dp.tx_frames in
+  let faults_before = List.length (Cdna.Hyp.faults fx.cdna) in
+  let hw' = Cdna.Hyp.driver_if fresh in
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.enqueue fx.cdna fresh Cdna.Hyp.Tx [ own_desc fx fresh () ] k)
+   with
+  | Ok prod -> check_int "producer restarts with the slot" 1 prod
+  | Error _ -> Alcotest.fail "enqueue on reused slot failed");
+  hw'.Nic.Driver_if.stage_tx_meta (meta_frame fresh ~seq:0);
+  hw'.Nic.Driver_if.tx_doorbell 1;
+  run fx 5;
+  check_int "clean transmit from the reused slot" (tx_before + 1)
+    (Cdna.Cnic.stats fx.nic).Nic.Dp.tx_frames;
+  check_int "no new faults" faults_before
+    (List.length (Cdna.Hyp.faults fx.cdna))
+
 (* ---------- DMA protection (Hyp.enqueue) ---------- *)
 
 let test_hyp_enqueue_validates_ownership () =
@@ -884,6 +939,150 @@ let test_malicious_native_driver_contained () =
   check_bool "benign context still active" true
     (Nic.Dp.is_active (Cdna.Cnic.dp fx.nic) ~ctx:(Cdna.Hyp.ctx_id h1))
 
+(* ---------- Context oversubscription (hypervisor-mediated paging) ---------- *)
+
+let test_paging_lifecycle_preserves_tx_state () =
+  let fx = fixture () in
+  Cdna.Hyp.enable_paging fx.cdna;
+  let wire = ref 0 in
+  Ethernet.Link.attach fx.link Ethernet.Link.B (fun _ -> incr wire);
+  let h1 = assign fx ~mac_idx:1 () in
+  setup_rings fx h1;
+  let hw1 = Cdna.Hyp.driver_if h1 in
+  let slot0 = Cdna.Hyp.ctx_id h1 in
+  (* Two frames before any paging: the hypervisor stamps seqnos 0 and 1. *)
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.enqueue fx.cdna h1 Cdna.Hyp.Tx
+           [ own_desc fx h1 (); own_desc fx h1 () ]
+           k)
+   with
+  | Ok prod -> check_int "producer" 2 prod
+  | Error _ -> Alcotest.fail "enqueue failed");
+  hw1.Nic.Driver_if.stage_tx_meta (meta_frame h1 ~seq:0);
+  hw1.Nic.Driver_if.stage_tx_meta (meta_frame h1 ~seq:1);
+  hw1.Nic.Driver_if.tx_doorbell 2;
+  run fx 5;
+  check_int "two frames before paging" 2 !wire;
+  (* A sentinel in the general-purpose half of the partition must travel
+     with the context image — and never be visible to the slot's next
+     owner. *)
+  let m0 = Bus.Mmio.map (Cdna.Cnic.region fx.nic ~ctx:slot0) in
+  Bus.Mmio.write32 m0 ~offset:512 0xBEEF;
+  (* Fill every remaining hardware slot... *)
+  for i = 1 to Cdna.Cnic.num_contexts - 1 do
+    ignore (assign fx ~guest:fx.guest2 ~mac_idx:(100 + i) ())
+  done;
+  check_int "no swap while slots remain" 0 (Cdna.Hyp.ctx_swaps fx.cdna);
+  (* ...and one more: the LRU context (h1, idle since its transmit) is
+     saved to its per-guest area and the newcomer takes its slot. *)
+  let h33 = assign fx ~guest:fx.guest2 ~mac_idx:200 () in
+  check_int "one save" 1 (Cdna.Hyp.ctx_swaps fx.cdna);
+  check_int "newcomer on the victim's slot" slot0 (Cdna.Hyp.ctx_id h33);
+  check_int "victim partition scrubbed" 0 (Bus.Mmio.read32 m0 ~offset:512);
+  (* Touch the paged-out context: enqueue continues the sequence (2, 3)
+     and the doorbell faults the context back in on a freshly evicted
+     slot, transparently to the driver. *)
+  (match
+     await fx (fun k ->
+         Cdna.Hyp.enqueue fx.cdna h1 Cdna.Hyp.Tx
+           [ own_desc fx h1 (); own_desc fx h1 () ]
+           k)
+   with
+  | Ok prod -> check_int "producer continues" 4 prod
+  | Error _ -> Alcotest.fail "enqueue after page-out failed");
+  hw1.Nic.Driver_if.stage_tx_meta (meta_frame h1 ~seq:2);
+  hw1.Nic.Driver_if.stage_tx_meta (meta_frame h1 ~seq:3);
+  hw1.Nic.Driver_if.tx_doorbell 4;
+  run fx 5;
+  check_int "save of the new victim + restore" 3 (Cdna.Hyp.ctx_swaps fx.cdna);
+  check_int "all four frames on the wire" 4 !wire;
+  check_bool "seqno continuity across the swap: no faults" true
+    (Cdna.Hyp.faults fx.cdna = []);
+  let slot' = Cdna.Hyp.ctx_id h1 in
+  check_bool "restored on a different slot" true (slot' <> slot0);
+  check_bool "restored slot live" true
+    (Nic.Dp.is_active (Cdna.Cnic.dp fx.nic) ~ctx:slot');
+  let m' = Bus.Mmio.map (Cdna.Cnic.region fx.nic ~ctx:slot') in
+  check_int "partition image followed the context" 0xBEEF
+    (Bus.Mmio.read32 m' ~offset:512)
+
+(* Random interleavings of transmits and forced evictions on a fully
+   subscribed NIC: sequence numbers stay continuous across every
+   save/restore (no context ever faults, every staged frame reaches the
+   wire), inherited slots never leak the previous owner's partition data,
+   and each context's own partition image survives arbitrarily many
+   swaps. *)
+let prop_paging_interleaving =
+  QCheck.Test.make
+    ~name:
+      "random evict/touch interleavings preserve seqno continuity and \
+       partition isolation"
+    ~count:12
+    QCheck.(list_of_size Gen.(int_range 4 10) (int_range 0 2))
+    (fun ops ->
+      let fx = fixture () in
+      Cdna.Hyp.enable_paging fx.cdna;
+      let wire = ref 0 in
+      Ethernet.Link.attach fx.link Ethernet.Link.B (fun _ -> incr wire);
+      let h1 = assign fx ~mac_idx:1 () in
+      setup_rings fx h1;
+      let h2 = assign fx ~guest:fx.guest2 ~mac_idx:2 () in
+      setup_rings fx h2;
+      let sentinel = [| 0xAAAA; 0xBBBB |] in
+      List.iteri
+        (fun i h ->
+          let m =
+            Bus.Mmio.map (Cdna.Cnic.region fx.nic ~ctx:(Cdna.Hyp.ctx_id h))
+          in
+          Bus.Mmio.write32 m ~offset:512 sentinel.(i))
+        [ h1; h2 ];
+      for i = 1 to Cdna.Cnic.num_contexts - 2 do
+        ignore (assign fx ~guest:fx.guest2 ~mac_idx:(100 + i) ())
+      done;
+      let sent = ref 0 in
+      let fresh = ref 0 in
+      let ok = ref true in
+      let touch h =
+        let hw = Cdna.Hyp.driver_if h in
+        (match
+           await fx (fun k ->
+               Cdna.Hyp.enqueue fx.cdna h Cdna.Hyp.Tx [ own_desc fx h () ] k)
+         with
+        | Ok prod ->
+            hw.Nic.Driver_if.stage_tx_meta (meta_frame h ~seq:prod);
+            hw.Nic.Driver_if.tx_doorbell prod;
+            incr sent
+        | Error _ -> ok := false);
+        run fx 2
+      in
+      let evict () =
+        incr fresh;
+        let hn = assign fx ~guest:fx.guest2 ~mac_idx:(200 + !fresh) () in
+        (* The newcomer must find its inherited slot scrubbed. *)
+        let m =
+          Bus.Mmio.map (Cdna.Cnic.region fx.nic ~ctx:(Cdna.Hyp.ctx_id hn))
+        in
+        if Bus.Mmio.read32 m ~offset:512 <> 0 then ok := false;
+        run fx 2
+      in
+      List.iter
+        (fun op -> match op with 0 -> touch h1 | 1 -> touch h2 | _ -> evict ())
+        ops;
+      (* Bring both traffic contexts back in and verify their images. *)
+      touch h1;
+      touch h2;
+      List.iteri
+        (fun i h ->
+          let m =
+            Bus.Mmio.map (Cdna.Cnic.region fx.nic ~ctx:(Cdna.Hyp.ctx_id h))
+          in
+          if Bus.Mmio.read32 m ~offset:512 <> sentinel.(i) then ok := false)
+        [ h1; h2 ];
+      !ok && !wire = !sent
+      && Cdna.Hyp.faults fx.cdna = []
+      && (Cdna.Cnic.stats fx.nic).Nic.Dp.faults = 0)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -907,6 +1106,14 @@ let suite =
         Alcotest.test_case "unique assignment" `Quick test_hyp_assign_unique_contexts;
         Alcotest.test_case "exhaustion" `Quick test_hyp_context_exhaustion;
         Alcotest.test_case "revoke frees" `Quick test_hyp_revoke_frees_context;
+        Alcotest.test_case "faulted slot withheld" `Quick
+          test_faulted_slot_withheld_until_reset;
+      ] );
+    ( "cdna.paging",
+      [
+        Alcotest.test_case "lifecycle preserves tx state" `Quick
+          test_paging_lifecycle_preserves_tx_state;
+        qcheck prop_paging_interleaving;
       ] );
     ( "cdna.protection",
       [

@@ -6,10 +6,13 @@ let check_int = check Alcotest.int
 let check_bool = check Alcotest.bool
 let us = Sim.Time.us
 
-let make_cpu ?ctx_switch_cost ?slice () =
+let make_cpu ?cpus ?ctx_switch_cost ?slice ?migration_cost () =
   let engine = Sim.Engine.create () in
   let profile = Host.Profile.create () in
-  let cpu = Host.Cpu.create engine ?ctx_switch_cost ?slice ~profile () in
+  let cpu =
+    Host.Cpu.create engine ?cpus ?ctx_switch_cost ?slice ?migration_cost
+      ~profile ()
+  in
   (engine, profile, cpu)
 
 let run_for engine t = Sim.Engine.run engine ~until:t
@@ -299,6 +302,119 @@ let test_cpu_busy_matches_profile () =
   check_int "total busy = profile busy" (Host.Profile.busy profile |> Sim.Time.to_ns)
     (Host.Cpu.total_busy cpu |> Sim.Time.to_ns)
 
+let test_cpu_stop_cancels_replenish () =
+  (* Regression: the credit-replenish timer used to reschedule itself
+     forever with an [ignore]d handle, so a finished simulation's engine
+     never drained. [stop] must cancel it. *)
+  let engine, _, cpu = make_cpu () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 5) ignore;
+  run_for engine (Sim.Time.ms 1);
+  check_bool "replenish timer keeps the engine live" true
+    (Sim.Engine.live_pending_count engine > 0);
+  Host.Cpu.stop cpu;
+  check_int "stopped cpu leaves no live events" 0
+    (Sim.Engine.live_pending_count engine);
+  (* Idempotent, and the engine stays drained over any horizon. *)
+  Host.Cpu.stop cpu;
+  run_for engine (Sim.Time.ms 500);
+  check_int "still drained" 0 (Sim.Engine.live_pending_count engine)
+
+let test_cpu_credits_integer_exact () =
+  (* Regression: credits were a [float] microsecond count; replenishment
+     accumulated rounding drift. Integer-nanosecond credits land an idle
+     entity's bank {e exactly} on its weighted share of one period. *)
+  let engine, _, cpu = make_cpu () in
+  let _heavy = Host.Cpu.add_entity cpu ~name:"heavy" ~weight:768 ~domain:0 in
+  let light = Host.Cpu.add_entity cpu ~name:"light" ~weight:256 ~domain:1 in
+  run_for engine (Sim.Time.ms 200);
+  let share_us = 30_000. *. 256. /. 1024. in
+  check (Alcotest.float 0.) "banked exactly the weighted share" share_us
+    (Host.Cpu.credits_of light)
+
+(* ---------- SMP runqueues ---------- *)
+
+let test_smp_runs_in_parallel () =
+  (* Two entities on two CPUs complete concurrently, not serialized. *)
+  let engine, _, cpu = make_cpu ~cpus:2 ~ctx_switch_cost:0 () in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let b = Host.Cpu.add_entity cpu ~name:"b" ~weight:256 ~domain:1 in
+  check_int "two runqueues" 2 (Host.Cpu.num_cpus cpu);
+  check_int "a on cpu0" 0 (Host.Cpu.cpu_of a);
+  check_int "b on cpu1" 1 (Host.Cpu.cpu_of b);
+  let done_a = ref 0 and done_b = ref 0 in
+  Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 100)
+    (fun () -> done_a := Sim.Engine.now engine);
+  Host.Cpu.post cpu b ~category:(Host.Category.Kernel 1) ~cost:(us 100)
+    (fun () -> done_b := Sim.Engine.now engine);
+  run_for engine (Sim.Time.ms 1);
+  check_int "a done at 100us" (us 100) !done_a;
+  check_int "b done at 100us (concurrent)" (us 100) !done_b
+
+let test_smp_wake_migrates_to_idle_cpu () =
+  (* Round-robin placement puts c on cpu0 with a; when c wakes while a is
+     busy and cpu1 sits idle, c migrates there (and pays the one-shot
+     IPI/cold-cache penalty on its first dispatch). *)
+  let engine, _, cpu =
+    make_cpu ~cpus:2 ~ctx_switch_cost:0 ~migration_cost:(us 9) ()
+  in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let _b = Host.Cpu.add_entity cpu ~name:"b" ~weight:256 ~domain:1 in
+  let c = Host.Cpu.add_entity cpu ~name:"c" ~weight:256 ~domain:2 in
+  check_int "c starts on cpu0" 0 (Host.Cpu.cpu_of c);
+  let rec feed () =
+    Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 10) feed
+  in
+  feed ();
+  let c_done = ref 0 in
+  ignore
+    (Sim.Engine.schedule engine ~delay:(us 5) (fun () ->
+         Host.Cpu.post cpu c ~category:(Host.Category.Kernel 2) ~cost:(us 10)
+           (fun () -> c_done := Sim.Engine.now engine)));
+  run_for engine (Sim.Time.us 200);
+  check_int "one migration" 1 (Host.Cpu.migrations cpu);
+  check_int "c now on cpu1" 1 (Host.Cpu.cpu_of c);
+  (* Woken at 5us, 9us migration penalty, 10us of work. *)
+  check_int "c paid the migration penalty" (us 24) !c_done
+
+let test_smp_no_migration_when_home_free () =
+  (* An entity whose home runqueue is idle stays put: no spurious
+     migrations, no penalty. *)
+  let engine, _, cpu =
+    make_cpu ~cpus:2 ~ctx_switch_cost:0 ~migration_cost:(us 9) ()
+  in
+  let a = Host.Cpu.add_entity cpu ~name:"a" ~weight:256 ~domain:0 in
+  let b = Host.Cpu.add_entity cpu ~name:"b" ~weight:256 ~domain:1 in
+  for _ = 1 to 3 do
+    Host.Cpu.post cpu a ~category:(Host.Category.Kernel 0) ~cost:(us 10) ignore;
+    Host.Cpu.post cpu b ~category:(Host.Category.Kernel 1) ~cost:(us 10) ignore
+  done;
+  run_for engine (Sim.Time.ms 1);
+  check_int "no migrations" 0 (Host.Cpu.migrations cpu);
+  check_int "a stayed home" 0 (Host.Cpu.cpu_of a);
+  check_int "b stayed home" 1 (Host.Cpu.cpu_of b)
+
+let test_smp_busy_matches_profile () =
+  (* Per-runqueue busy accounting still sums to the shared profile. *)
+  let engine, profile, cpu = make_cpu ~cpus:4 ~ctx_switch_cost:0 () in
+  let es =
+    List.init 4 (fun i ->
+        Host.Cpu.add_entity cpu
+          ~name:(Printf.sprintf "e%d" i)
+          ~weight:256 ~domain:i)
+  in
+  List.iteri
+    (fun i e ->
+      for _ = 1 to 5 do
+        Host.Cpu.post cpu e ~category:(Host.Category.Kernel i) ~cost:(us 3)
+          ignore
+      done)
+    es;
+  run_for engine (Sim.Time.ms 1);
+  check_int "total busy = profile busy"
+    (Host.Profile.busy profile |> Sim.Time.to_ns)
+    (Host.Cpu.total_busy cpu |> Sim.Time.to_ns)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -336,5 +452,19 @@ let suite =
         Alcotest.test_case "zero cost work" `Quick test_cpu_zero_cost_work;
         Alcotest.test_case "rejects negative" `Quick test_cpu_rejects_negative;
         Alcotest.test_case "busy matches profile" `Quick test_cpu_busy_matches_profile;
+        Alcotest.test_case "stop cancels replenish" `Quick
+          test_cpu_stop_cancels_replenish;
+        Alcotest.test_case "credits are exact integers" `Quick
+          test_cpu_credits_integer_exact;
+      ] );
+    ( "host.cpu.smp",
+      [
+        Alcotest.test_case "runs in parallel" `Quick test_smp_runs_in_parallel;
+        Alcotest.test_case "wake migrates to idle cpu" `Quick
+          test_smp_wake_migrates_to_idle_cpu;
+        Alcotest.test_case "no migration when home free" `Quick
+          test_smp_no_migration_when_home_free;
+        Alcotest.test_case "busy matches profile" `Quick
+          test_smp_busy_matches_profile;
       ] );
   ]

@@ -294,6 +294,30 @@ let test_multihost_determinism () =
         (multihost_render ~seed ~shards:4 ~workers:2 ()))
     [ 1234; 77 ]
 
+(* Regression for the float-credit scheduler bug: with SMP runqueues and
+   cross-runqueue migration in play, credit accounting must be exact
+   integer arithmetic or schedules drift apart across shard counts. Runs
+   the multi-host scenario with 4-CPU hosts and several guests (so
+   migrations and per-runqueue metrics are live) and byte-compares
+   shards=1 against shards=4. *)
+let test_smp_schedule_shard_invariant () =
+  let cfg =
+    {
+      (small_cfg 99) with
+      Experiments.Config.cpus = 4;
+      guests = 3;
+      conns_per_guest_per_nic = 1;
+    }
+  in
+  let render shards =
+    let rep, t = Experiments.Multihost.run ~shards ~hosts:4 cfg in
+    render_report rep t
+  in
+  let reference = render 1 in
+  check_bool "report is non-trivial" true (String.length reference > 200);
+  check Alcotest.string "smp schedules: shards=4 == shards=1" reference
+    (render 4)
+
 (* Re-running the same configuration twice in one process is also
    byte-stable (no hidden global state). *)
 let test_multihost_rerun_stable () =
@@ -331,5 +355,7 @@ let suite =
         Alcotest.test_case "sequential vs sharded byte-identical" `Slow
           test_multihost_determinism;
         Alcotest.test_case "rerun stable" `Quick test_multihost_rerun_stable;
+        Alcotest.test_case "smp schedules shard-invariant" `Slow
+          test_smp_schedule_shard_invariant;
       ] );
   ]
