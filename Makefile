@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-json bench-macro clean
+.PHONY: all build test lint check bench bench-json bench-macro scale-quick clean
 
 all: build
 
@@ -41,8 +41,18 @@ bench-json:
 # same 4-host scenario at shards 1 and 4, gated >2x against the
 # committed baseline. Refresh after an intentional performance change:
 #   dune exec bench/main.exe -- --macro bench/baseline_macro.json
+# The gate also runs inside `dune runtest`, where the whole suite
+# timeshares the machine — after refreshing, give memory-bound subjects
+# (macro/open-loop-100k) headroom above their worst contended runtest
+# number, not just the idle measurement.
 bench-macro:
 	dune exec bench/main.exe -- --macro BENCH_macro.json --macro-gate bench/baseline_macro.json
+
+# Quick open-loop flow-scaling sweep (quartered windows): the
+# 10^3..10^6 table of EXPERIMENTS.md in miniature. Full-window version:
+#   dune exec bin/cdna_sim.exe -- scale
+scale-quick:
+	dune exec bin/cdna_sim.exe -- scale --quick
 
 clean:
 	dune clean

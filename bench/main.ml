@@ -117,6 +117,42 @@ let bridge_route_fn =
   in
   fun () -> ignore (Guestos.Bridge.route b ~ingress:ports.(0) frame)
 
+(* One full admit -> drain cycle over a million-flow table: 1M inserts
+   through the open-addressing probe, then 1M find+complete with
+   backward-shift deletion. The table is preallocated once (~70 MB of
+   flat arrays); the per-run loop is the [@cdna.hot] admission path and
+   must show minor_words_per_run = 0 in the --json output. *)
+let flow_admit_1m_fn =
+  let n = 1_000_000 in
+  let t = Workload.Flow_table.create ~capacity:n in
+  fun () ->
+    for i = 0 to n - 1 do
+      let key =
+        Workload.Flow_table.pack ~src:(i land 0x7FFF) ~dst:(i lsr 15)
+      in
+      assert (Workload.Flow_table.insert t ~key ~pkts:1 ~now:i >= 0)
+    done;
+    for i = 0 to n - 1 do
+      let key =
+        Workload.Flow_table.pack ~src:(i land 0x7FFF) ~dst:(i lsr 15)
+      in
+      let slot = Workload.Flow_table.find t ~key in
+      ignore (Workload.Flow_table.complete t ~slot ~now:(n + i))
+    done
+
+(* Single-scan p50..p99.99 read-out of a populated histogram via
+   [quantiles_into] (preallocated output; allocation-free). *)
+let histogram_multi_quantile_fn =
+  let h = Sim.Stats.Histogram.create () in
+  let s = ref 424242 in
+  for _ = 1 to 100_000 do
+    s := Workload.Pattern.xorshift !s;
+    Sim.Stats.Histogram.add h (!s land 0xFFFF_FFF)
+  done;
+  let qs = [| 10.; 25.; 50.; 75.; 90.; 99.; 99.9; 99.99 |] in
+  let out = Array.make (Array.length qs) 0 in
+  fun () -> Sim.Stats.Histogram.quantiles_into h qs out
+
 let micro_subjects =
   [
     ("micro/engine-10k-events", engine_events_fn);
@@ -128,6 +164,8 @@ let micro_subjects =
     ("micro/seqno-check-1k", seqno_check_fn);
     ("micro/grant-flip", grant_flip_fn);
     ("micro/bridge-route-26-ports", bridge_route_fn);
+    ("micro/flow-admit-1M", flow_admit_1m_fn);
+    ("micro/histogram-multi-quantile", histogram_multi_quantile_fn);
   ]
 
 (* ---------- Macro subjects: one per table / figure ---------- *)
@@ -510,11 +548,33 @@ let oversub_once () =
   | Some _ | None -> failwith "macro/guests-oversubscription: no context swaps");
   (wall_s, m.Experiments.Run.events_fired)
 
+(* One open-loop scale point at 10^5 standing flows, both systems (the
+   [cdna_sim scale] cell where the software path's flow-state touch
+   penalty is fully engaged). "Events" here are datapath packet
+   services, the dominant event population of the run. Timed in process
+   CPU seconds rather than wall-clock: the subject is single-threaded,
+   so the two agree on an idle machine, but the gate stays meaningful
+   when `dune runtest` runs this concurrently with the test suite. *)
+let open_loop_100k_once () =
+  let t0 = Sys.time () in
+  let p =
+    Experiments.Flows.point ~quick:true ~shards:1
+      ~scenario:Experiments.Flows.Normal ~seed:42 ~flows:100_000 ()
+  in
+  let wall_s = Sys.time () -. t0 in
+  let pkts =
+    p.Experiments.Flows.xen.Experiments.Flows.served_pkts
+    + p.Experiments.Flows.cdna.Experiments.Flows.served_pkts
+  in
+  if pkts = 0 then failwith "macro/open-loop-100k: no packets served";
+  (wall_s, pkts)
+
 let macro_subjects =
   [
     ("macro/multihost4-shards1", macro_once ~shards:1);
     ("macro/multihost4-shards4", macro_once ~shards:4);
     ("macro/guests-oversubscription", oversub_once);
+    ("macro/open-loop-100k", open_loop_100k_once);
   ]
 
 let macro_mode ~out ~gate =

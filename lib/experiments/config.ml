@@ -18,6 +18,7 @@ type t = {
   seed : int;
   warmup : Sim.Time.t;
   duration : Sim.Time.t;
+  slice : Sim.Time.t option;
 }
 
 let default =
@@ -38,6 +39,7 @@ let default =
     seed = 42;
     warmup = Sim.Time.ms 60;
     duration = Sim.Time.ms 200;
+    slice = None;
   }
 
 let system_name = function

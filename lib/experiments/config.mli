@@ -35,6 +35,10 @@ type t = {
   seed : int;
   warmup : Sim.Time.t;
   duration : Sim.Time.t;  (** Measured window after warm-up. *)
+  slice : Sim.Time.t option;
+      (** Credit-scheduler stickiness slice override ([None] = the
+          scheduler's 1 ms default). Small slices raise context-switch —
+          and, with paged CDNA contexts, context-swap — rates. *)
 }
 
 (** Single guest, 2 NICs, transmit, full protection, 200 ms measured. *)

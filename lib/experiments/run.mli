@@ -30,6 +30,10 @@ type measurement = {
     sum for bidirectional). *)
 val primary_mbps : measurement -> float
 
+(** L3/L4 header bytes excluded from goodput accounting (IP + TCP +
+    timestamps), shared with the open-loop {!Flows} experiment. *)
+val l3_header_bytes : int
+
 (** {2 Measurement phases}
 
     {!run} is [build -> warm up -> reset -> measure -> collect]; the

@@ -41,10 +41,18 @@ let measure ~quick ~shards (cfg : Config.t) =
   in
   (m, swaps)
 
+(* The rx-heavy preset: receive-dominated traffic does more work per
+   context touch (netback RX is the expensive side; CDNA RX touches the
+   paged context per delivery), and a 10x smaller scheduler slice
+   multiplies context switches — together they push context-swap rates
+   toward the regime where paging overhead could hand the win back to
+   the software path. *)
+let rx_heavy_slice = Sim.Time.us 100
+
 let sweep ?(quick = false) ?(shards = 1) ?(pattern = Workload.Pattern.Tx)
-    ?(guest_counts = default_guest_counts) ?(cpu_counts = default_cpu_counts)
-    () =
-  let base = { Config.default with Config.nics = 2; pattern } in
+    ?slice ?(guest_counts = default_guest_counts)
+    ?(cpu_counts = default_cpu_counts) () =
+  let base = { Config.default with Config.nics = 2; pattern; slice } in
   List.concat_map
     (fun cpus ->
       List.map

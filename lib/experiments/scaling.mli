@@ -40,10 +40,16 @@ val sweep :
   ?quick:bool ->
   ?shards:int ->
   ?pattern:Workload.Pattern.t ->
+  ?slice:Sim.Time.t ->
   ?guest_counts:int list ->
   ?cpu_counts:int list ->
   unit ->
   point list
+
+(** Scheduler slice used by the [--preset rx-heavy] sweep (100 us vs the
+    1 ms default): with receive-dominated traffic it maximizes context
+    touches per unit time, probing for a CDNA/Xen crossover. *)
+val rx_heavy_slice : Sim.Time.t
 
 (** Smallest guest count at which CDNA throughput falls to or below
     Xen's, for the given CPU count. *)

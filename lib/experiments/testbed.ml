@@ -426,7 +426,7 @@ let build (cfg : Config.t) =
   let engine = Sim.Engine.create () in
   let profile = Host.Profile.create () in
   let cpu =
-    Host.Cpu.create engine ~cpus:cfg.Config.cpus
+    Host.Cpu.create engine ~cpus:cfg.Config.cpus ?slice:cfg.Config.slice
       ~migration_cost:cm.Cost_model.cpu_migration ~profile ()
   in
   let total_pages = 65536 + (cfg.Config.guests * 10240) + (cfg.Config.nics * 4096) in

@@ -79,19 +79,21 @@ module Histogram = struct
   type t = {
     counts : int array;
     mutable n : int;
-    mutable sum : float;
+    mutable sum : int;
+    (* exact: samples are <= 2^62-ish ns and counts are bounded, so the
+       integer sum cannot overflow in practice and [add] stays boxing-free *)
     mutable min_v : int;
     mutable max_v : int;
   }
 
   let create () =
-    { counts = Array.make buckets 0; n = 0; sum = 0.; min_v = max_int; max_v = 0 }
+    { counts = Array.make buckets 0; n = 0; sum = 0; min_v = max_int; max_v = 0 }
 
-  let msb v =
+  let[@cdna.hot] msb v =
     let rec scan v acc = if v <= 1 then acc else scan (v lsr 1) (acc + 1) in
     scan v 0
 
-  let bucket_of v =
+  let[@cdna.hot] bucket_of v =
     if v < linear_limit then v
     else begin
       let m = msb v in
@@ -104,17 +106,17 @@ module Histogram = struct
       Stdlib.min (buckets - 1) idx
     end
 
-  let add t v =
+  let[@cdna.hot] add t v =
     let v = Stdlib.max 0 v in
     let b = bucket_of v in
     t.counts.(b) <- t.counts.(b) + 1;
     t.n <- t.n + 1;
-    t.sum <- t.sum +. float_of_int v;
+    t.sum <- t.sum + v;
     if v < t.min_v then t.min_v <- v;
     if v > t.max_v then t.max_v <- v
 
   let count t = t.n
-  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+  let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
   let max_value t = t.max_v
   let min_value t = if t.n = 0 then 0 else t.min_v
 
@@ -149,10 +151,54 @@ module Histogram = struct
       scan (bucket_of t.min_v) 0
     end
 
+  (* Single-scan multi-quantile read-out: [qs] must be sorted ascending;
+     writes the value at each quantile into [out] (same length). One pass
+     over the buckets regardless of how many quantiles are requested, so
+     p50/p99/p999 of a million-sample histogram costs one scan. *)
+  let quantiles_into t qs out =
+    let k = Array.length qs in
+    if Array.length out <> k then
+      invalid_arg "Histogram.quantiles_into: length mismatch";
+    for i = 1 to k - 1 do
+      if qs.(i) < qs.(i - 1) then
+        invalid_arg "Histogram.quantiles_into: quantiles not sorted"
+    done;
+    if t.n = 0 then Array.fill out 0 k 0
+    else begin
+      let next = ref 0 in
+      (* quantiles <= 0 are exactly the minimum, as in [percentile] *)
+      while !next < k && qs.(!next) <= 0. do
+        out.(!next) <- min_value t;
+        incr next
+      done;
+      let i = ref (bucket_of t.min_v) and acc = ref 0 in
+      while !next < k && !i < buckets do
+        acc := !acc + t.counts.(!i);
+        let facc = float_of_int !acc in
+        while
+          !next < k
+          && facc >= Float.min 100. qs.(!next) /. 100. *. float_of_int t.n
+        do
+          out.(!next) <- Stdlib.min (bucket_upper !i) t.max_v;
+          incr next
+        done;
+        incr i
+      done;
+      while !next < k do
+        out.(!next) <- t.max_v;
+        incr next
+      done
+    end
+
+  let quantiles t qs =
+    let out = Array.make (Array.length qs) 0 in
+    quantiles_into t qs out;
+    out
+
   let reset t =
     Array.fill t.counts 0 buckets 0;
     t.n <- 0;
-    t.sum <- 0.;
+    t.sum <- 0;
     t.min_v <- max_int;
     t.max_v <- 0
 

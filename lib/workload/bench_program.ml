@@ -3,7 +3,7 @@ type stream = {
   tx_conns : Connection.t array;  (* windows this program keeps full *)
   mutable rr : int; (* round-robin refill pointer, for balance *)
   mutable refill_scheduled : bool;
-  mutable last_refill : Sim.Time.t;
+  pacer : Pattern.Throttle.t; (* at most one refill per interval *)
 }
 
 type t = {
@@ -42,11 +42,11 @@ let create engine ?(min_refill_interval = Sim.Time.us 80) ?(gso_segments = 1)
 let rec refill t s =
   if Array.length s.tx_conns > 0 && not s.refill_scheduled then begin
     let now = Sim.Engine.now t.engine in
-    let earliest = Sim.Time.add s.last_refill t.min_refill_interval in
-    if Sim.Time.compare now earliest < 0 then begin
+    if not (Pattern.Throttle.ready s.pacer ~now) then begin
       s.refill_scheduled <- true;
       ignore
-        (Sim.Engine.schedule t.engine ~delay:(Sim.Time.diff earliest now)
+        (Sim.Engine.schedule t.engine
+           ~delay:(Pattern.Throttle.wait s.pacer ~now)
            (fun () ->
              s.refill_scheduled <- false;
              refill t s))
@@ -63,7 +63,7 @@ and refill_now t s =
     let k = min capacity want in
     if k > 0 then begin
       s.refill_scheduled <- true;
-      s.last_refill <- Sim.Engine.now t.engine;
+      Pattern.Throttle.mark s.pacer ~now:(Sim.Engine.now t.engine);
       let cost =
         Sim.Time.add t.costs.Guestos.Os_costs.app_wakeup
           (Sim.Time.mul_int t.costs.Guestos.Os_costs.app_per_pkt k)
@@ -139,7 +139,7 @@ let add_stream t ~stack ~tx ~rx =
       tx_conns = Array.of_list tx;
       rr = 0;
       refill_scheduled = false;
-      last_refill = Sim.Time.zero;
+      pacer = Pattern.Throttle.create ~interval:t.min_refill_interval;
     }
   in
   List.iter

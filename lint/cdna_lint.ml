@@ -292,31 +292,41 @@ let fn_arity (e : expression) =
       + (match body with Pfunction_cases _ -> 1 | Pfunction_body _ -> 0)
   | _ -> 0
 
-(* Maps "Module.fn" -> arity for every [@cdna.hot] binding. *)
+(* Maps "Module.fn" -> arity for every [@cdna.hot] binding. Descends into
+   submodules, registering under the innermost module name — callers
+   reference [Sim.Stats.Histogram.add] and [key2] reduces that to
+   "Histogram.add", so the innermost name is the one that resolves. *)
 let collect_hot parsed =
   let table = Hashtbl.create 64 in
+  let rec scan_items modname items =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : value_binding) ->
+                if has_attr "cdna.hot" vb.pvb_attributes then
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_var { txt; _ } ->
+                      Hashtbl.replace table
+                        (modname ^ "." ^ txt)
+                        (fn_arity vb.pvb_expr)
+                  | _ -> ())
+              vbs
+        | Pstr_module mb -> scan_module_binding mb
+        | Pstr_recmodule mbs -> List.iter scan_module_binding mbs
+        | _ -> ())
+      items
+  and scan_module_binding (mb : module_binding) =
+    match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+    | Some sub, Pmod_structure items -> scan_items sub items
+    | _ -> ()
+  in
   List.iter
     (fun (path, structure) ->
       match structure with
       | None -> ()
-      | Some structure ->
-          let modname = module_of_path path in
-          List.iter
-            (fun (item : structure_item) ->
-              match item.pstr_desc with
-              | Pstr_value (_, vbs) ->
-                  List.iter
-                    (fun (vb : value_binding) ->
-                      if has_attr "cdna.hot" vb.pvb_attributes then
-                        match vb.pvb_pat.ppat_desc with
-                        | Ppat_var { txt; _ } ->
-                            Hashtbl.replace table
-                              (modname ^ "." ^ txt)
-                              (fn_arity vb.pvb_expr)
-                        | _ -> ())
-                    vbs
-              | _ -> ())
-            structure)
+      | Some structure -> scan_items (module_of_path path) structure)
     parsed;
   table
 

@@ -121,6 +121,10 @@ let test_hot_clean () =
   check_rules "clean hot code passes" ~pretend_path:"lib/foo/a.ml"
     "hot_clean.ml" []
 
+let test_hot_submodule () =
+  check_rules "hot binding in submodule resolves" ~pretend_path:"lib/foo/a.ml"
+    "hot_submodule.ml" []
+
 (* ---------- the real tree ---------- *)
 
 let rec collect_ml acc path =
@@ -180,6 +184,7 @@ let () =
           Alcotest.test_case "justified annotations" `Quick test_suppressed;
           Alcotest.test_case "missing reason" `Quick test_missing_reason;
           Alcotest.test_case "clean hot code" `Quick test_hot_clean;
+          Alcotest.test_case "hot in submodule" `Quick test_hot_submodule;
         ] );
       ( "tree",
         [ Alcotest.test_case "lib violation-free" `Quick test_lib_clean ] );
