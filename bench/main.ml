@@ -86,6 +86,7 @@ let grant_flip_fn =
   let cpu = Host.Cpu.create engine ~profile () in
   let mem = Memory.Phys_mem.create ~total_pages:64 () in
   let hyp = Xen.Hypervisor.create engine ~cpu ~mem () in
+  let gnt = Xen.Grant_table.create hyp in
   let a =
     Xen.Hypervisor.create_domain hyp ~name:"a" ~kind:Xen.Domain.Guest
       ~weight:256 ~mem_pages:8
@@ -97,7 +98,7 @@ let grant_flip_fn =
   let page = List.hd (Xen.Domain.pages a) in
   let here = ref a and there = ref b in
   fun () ->
-    (match Xen.Grant_table.flip hyp ~src:!here ~dst:!there page with
+    (match Xen.Grant_table.flip gnt ~src:!here ~dst:!there page with
     | Ok () -> ()
     | Error _ -> assert false);
     let t = !here in

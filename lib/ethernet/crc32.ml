@@ -5,33 +5,37 @@
    and no per-byte loop — mathematically identical to the byte-wise
    recurrence, just reassociated. The streaming primitives ([init_crc],
    [feed], [finish]) expose the same recurrence one byte at a time so
-   payload specs can be checksummed without materializing. *)
+   payload specs can be checksummed without materializing.
+
+   The tables are built eagerly at module initialization — which runs on
+   the main domain, before any [Domain.spawn] — and are read-only
+   afterwards, so LP callbacks on worker domains can share them without a
+   racing [Lazy.force]. *)
 
 let tables =
-  lazy
-    (let t0 =
-       Array.init 256 (fun n ->
-           let c = ref n in
-           for _ = 0 to 7 do
-             if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
-             else c := !c lsr 1
-           done;
-           !c)
-     in
-     let tables = Array.make 8 t0 in
-     for k = 1 to 7 do
-       let prev = tables.(k - 1) in
-       tables.(k) <-
-         Array.init 256 (fun n ->
-             let c = prev.(n) in
-             t0.(c land 0xff) lxor (c lsr 8))
-     done;
-     tables)
+  let t0 =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+          else c := !c lsr 1
+        done;
+        !c)
+  in
+  let tables = Array.make 8 t0 in
+  for k = 1 to 7 do
+    let prev = tables.(k - 1) in
+    tables.(k) <-
+      Array.init 256 (fun n ->
+          let c = prev.(n) in
+          t0.(c land 0xff) lxor (c lsr 8))
+  done;
+  tables
 
 let init_crc = 0xFFFFFFFF
 
 let[@cdna.hot] feed crc byte =
-  let t0 = (Lazy.force tables).(0) in
+  let t0 = Array.unsafe_get tables 0 in
   Array.unsafe_get t0 ((crc lxor byte) land 0xff) lxor (crc lsr 8)
 
 let[@cdna.hot] finish crc = crc lxor 0xFFFFFFFF
@@ -41,7 +45,6 @@ let[@cdna.hot] digest_stream fold = finish (fold feed init_crc)
 let[@cdna.hot] digest_sub b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Crc32.digest_sub: bad bounds";
-  let tables = Lazy.force tables in
   let t0 = Array.unsafe_get tables 0
   and t1 = Array.unsafe_get tables 1
   and t2 = Array.unsafe_get tables 2

@@ -6,6 +6,7 @@ type t = {
   profile : Host.Profile.t;
   mem : Memory.Phys_mem.t;
   xen : Xen.Hypervisor.t;
+  grant_table : Xen.Grant_table.t;
   metrics : Sim.Metrics.t;
   driver_dom : Xen.Domain.t option;
   guest_doms : Xen.Domain.t list;
@@ -34,6 +35,7 @@ type builder = {
   b_cpu : Host.Cpu.t;
   b_mem : Memory.Phys_mem.t;
   b_xen : Xen.Hypervisor.t;
+  b_gnt : Xen.Grant_table.t;
   b_metrics : Sim.Metrics.t;
   dma : Bus.Dma_engine.t;
   links : Ethernet.Link.t array;
@@ -215,7 +217,7 @@ let build_xen b =
     Xen.Hypervisor.kernel_work b.b_xen driver_dom ~cost fn
   in
   let netback =
-    Guestos.Netback.create ~hyp:b.b_xen ~dom:driver_dom
+    Guestos.Netback.create ~hyp:b.b_xen ~gnt:b.b_gnt ~dom:driver_dom
       ~costs:b.cm.Cost_model.netback ~pool_pages:8192
       ~materialize:cfg.Config.materialize ()
   in
@@ -297,7 +299,7 @@ let build_xen b =
           Guestos.Netback.schedule netback)
     in
     let netfront =
-      Guestos.Netfront.create ~hyp:b.b_xen ~dom
+      Guestos.Netfront.create ~hyp:b.b_xen ~gnt:b.b_gnt ~dom
         ~costs:b.cm.Cost_model.guest_os ~xchan ~mac
         ~notify_backend:(fun () ->
           Xen.Event_channel.notify chan_to_driver ~from:dom)
@@ -432,6 +434,7 @@ let build (cfg : Config.t) =
   let total_pages = 65536 + (cfg.Config.guests * 10240) + (cfg.Config.nics * 4096) in
   let mem = Memory.Phys_mem.create ~total_pages () in
   let xen = Xen.Hypervisor.create engine ~cpu ~mem ~costs:cm.Cost_model.xen () in
+  let gnt = Xen.Grant_table.create xen in
   let metrics = Sim.Metrics.create () in
   let dma = Bus.Dma_engine.create engine ~mem () in
   let links =
@@ -445,6 +448,7 @@ let build (cfg : Config.t) =
       b_cpu = cpu;
       b_mem = mem;
       b_xen = xen;
+      b_gnt = gnt;
       b_metrics = metrics;
       dma;
       links;
@@ -499,6 +503,7 @@ let build (cfg : Config.t) =
     profile;
     mem;
     xen;
+    grant_table = gnt;
     metrics;
     driver_dom;
     guest_doms;

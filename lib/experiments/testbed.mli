@@ -26,6 +26,9 @@ type t = {
   profile : Host.Profile.t;
   mem : Memory.Phys_mem.t;
   xen : Xen.Hypervisor.t;
+  grant_table : Xen.Grant_table.t;
+      (** The host's page-flip ledger; one per testbed, so multi-host
+          (multi-LP) runs share no grant state. *)
   metrics : Sim.Metrics.t;
       (** Registry with every component's gauges pre-registered: scheduler,
           DMA bus, hypervisor, NICs (per-context), netback/netfront or

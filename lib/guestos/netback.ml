@@ -41,6 +41,7 @@ type port_target = Guest of iface | Phys of Netdev.t
 
 type t = {
   hyp : Xen.Hypervisor.t;
+  gnt : Xen.Grant_table.t;
   dom : Xen.Domain.t;
   costs : costs;
   mutable ring_rr : int; (* rotating start for fair ring service *)
@@ -61,13 +62,15 @@ type t = {
   mutable runs : int;
 }
 
-let create ~hyp ~dom ~costs ?(pool_pages = 4096) ?(materialize = false) () =
+let create ~hyp ~gnt ~dom ~costs ?(pool_pages = 4096) ?(materialize = false)
+    () =
   let pool = Queue.create () in
   List.iter
     (fun p -> Queue.push p pool)
     (Xen.Hypervisor.alloc_pages hyp dom pool_pages);
   {
     hyp;
+    gnt;
     dom;
     costs;
     materialize;
@@ -285,7 +288,7 @@ and apply t c =
     (fun (iface, entry, decision) ->
       (* Flip the data page guest -> driver. *)
       (match
-         Xen.Grant_table.flip t.hyp ~src:iface.guest_dom ~dst:t.dom
+         Xen.Grant_table.flip t.gnt ~src:iface.guest_dom ~dst:t.dom
            entry.Xchan.pfn
        with
       | Ok () -> Queue.push entry.Xchan.pfn t.pool
@@ -295,7 +298,7 @@ and apply t c =
         match Queue.take_opt t.pool with
         | Some pfn -> (
             match
-              Xen.Grant_table.flip t.hyp ~src:t.dom ~dst:iface.guest_dom pfn
+              Xen.Grant_table.flip t.gnt ~src:t.dom ~dst:iface.guest_dom pfn
             with
             | Ok () -> [ pfn ]
             | Error (`Not_owner | `Pinned) -> [])
@@ -369,7 +372,7 @@ and apply t c =
                    before flipping it to the guest, not DMA"])
           end;
           match
-            Xen.Grant_table.flip t.hyp ~src:t.dom ~dst:iface.guest_dom pfn
+            Xen.Grant_table.flip t.gnt ~src:t.dom ~dst:iface.guest_dom pfn
           with
           | Ok () ->
               if Xchan.rx_push iface.xchan { Xchan.frame; pfn } then begin
@@ -379,7 +382,7 @@ and apply t c =
               else begin
                 (* Ring filled meanwhile: undo the flip, hold the frame. *)
                 (match
-                   Xen.Grant_table.flip t.hyp ~src:iface.guest_dom ~dst:t.dom
+                   Xen.Grant_table.flip t.gnt ~src:iface.guest_dom ~dst:t.dom
                      pfn
                  with
                 | Ok () -> Queue.push pfn t.pool

@@ -35,6 +35,7 @@ type iface
 
 val create :
   hyp:Xen.Hypervisor.t ->
+  gnt:Xen.Grant_table.t ->
   dom:Xen.Domain.t ->
   costs:costs ->
   ?pool_pages:int ->

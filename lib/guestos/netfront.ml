@@ -1,5 +1,6 @@
 type t = {
   hyp : Xen.Hypervisor.t;
+  gnt : Xen.Grant_table.t;
   dom : Xen.Domain.t;
   costs : Os_costs.t;
   xchan : Xchan.t;
@@ -124,7 +125,7 @@ let rec handle_event t =
                   List.iter
                     (fun e ->
                       match
-                        Xen.Grant_table.flip t.hyp ~src:t.dom ~dst:driver
+                        Xen.Grant_table.flip t.gnt ~src:t.dom ~dst:driver
                           e.Xchan.pfn
                       with
                       | Ok () -> Xchan.push_returned_page t.xchan e.Xchan.pfn
@@ -159,13 +160,14 @@ let rec handle_event t =
         end)
   end
 
-let create ~hyp ~dom ~costs ~xchan ~mac ~notify_backend ?(pool_pages = 1024)
-    ?(materialize = false) () =
+let create ~hyp ~gnt ~dom ~costs ~xchan ~mac ~notify_backend
+    ?(pool_pages = 1024) ?(materialize = false) () =
   let pool = Queue.create () in
   List.iter (fun p -> Queue.push p pool) (Xen.Hypervisor.alloc_pages hyp dom pool_pages);
   let t =
     {
       hyp;
+      gnt;
       dom;
       costs;
       xchan;

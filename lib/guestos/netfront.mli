@@ -13,12 +13,14 @@
 
 type t
 
-(** [create ~hyp ~dom ~costs ~xchan ~mac ~notify_backend ()] —
+(** [create ~hyp ~gnt ~dom ~costs ~xchan ~mac ~notify_backend ()] —
     [notify_backend] sends the event that wakes netback (typically an
-    {!Xen.Event_channel.notify} from [dom]). [pool_pages] (default 1024)
-    are allocated from the guest for the exchange pool. *)
+    {!Xen.Event_channel.notify} from [dom]). [gnt] is the host's grant
+    table (shared with netback so the flip ledger balances). [pool_pages]
+    (default 1024) are allocated from the guest for the exchange pool. *)
 val create :
   hyp:Xen.Hypervisor.t ->
+  gnt:Xen.Grant_table.t ->
   dom:Xen.Domain.t ->
   costs:Os_costs.t ->
   xchan:Xchan.t ->

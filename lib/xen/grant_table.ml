@@ -1,9 +1,10 @@
 type error = [ `Not_owner | `Pinned ]
+type t = { hyp : Hypervisor.t; mutable count : int }
 
-let count = ref 0
+let create hyp = { hyp; count = 0 }
 
-let flip hyp ~src ~dst pfn =
-  let mem = Hypervisor.mem hyp in
+let flip t ~src ~dst pfn =
+  let mem = Hypervisor.mem t.hyp in
   if not (Memory.Phys_mem.owned_by mem pfn (Domain.id src)) then Error `Not_owner
   else
     match Memory.Phys_mem.transfer mem pfn ~to_:(Domain.id dst) with
@@ -11,8 +12,8 @@ let flip hyp ~src ~dst pfn =
     | Ok () ->
         Domain.remove_page src pfn;
         Domain.add_page dst pfn;
-        incr count;
+        t.count <- t.count + 1;
         Ok ()
 
-let flips () = !count
-let reset_flips () = count := 0
+let flips t = t.count
+let reset_flips t = t.count <- 0

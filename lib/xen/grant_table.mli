@@ -6,18 +6,27 @@
     the caller charges the hypercall cost.
 
     A page pinned by outstanding DMA (non-zero reference count) cannot be
-    flipped, mirroring the reallocation constraint of section 3.3. *)
+    flipped, mirroring the reallocation constraint of section 3.3.
+
+    Each hypervisor instance gets its own table ([create]); the flip
+    counter lives in the table so independent hosts — and, under
+    [Sim.Shard], independent logical processes — share no grant state. *)
 
 type error =
   [ `Not_owner  (** Source domain does not own the page. *)
   | `Pinned  (** Page has outstanding DMA references. *) ]
 
-(** [flip hyp ~src ~dst pfn] moves ownership of [pfn] from [src] to
+(** A grant table bound to one hypervisor instance. *)
+type t
+
+val create : Hypervisor.t -> t
+
+(** [flip t ~src ~dst pfn] moves ownership of [pfn] from [src] to
     [dst]. *)
 val flip :
-  Hypervisor.t -> src:Domain.t -> dst:Domain.t -> Memory.Addr.pfn -> (unit, error) result
+  t -> src:Domain.t -> dst:Domain.t -> Memory.Addr.pfn -> (unit, error) result
 
-(** Completed flips (global diagnostic counter). *)
-val flips : unit -> int
+(** Completed flips through this table (per-table diagnostic counter). *)
+val flips : t -> int
 
-val reset_flips : unit -> unit
+val reset_flips : t -> unit

@@ -1,0 +1,1089 @@
+(* cdna_dom: static domain-safety / race detector for the parallel core.
+
+   Third verification layer, over the same compiled .cmt typedtrees as
+   [Cdna_flow] (whose call-graph helpers, canonicalization and diagnostic
+   types it reuses). [Sim.Shard] runs logical processes (LPs) on worker
+   domains; any mutable value shared between LPs without going through
+   [Domain.DLS] or the shard pool's mutex/condition merge path is a data
+   race waiting for a multicore runner. This pass finds that state
+   statically:
+
+   1. {b Collect} every piece of module-level mutable state in the tree:
+      toplevel / submodule bindings of mutable type (ref, array, bytes,
+      Hashtbl.t, Queue.t, Stack.t, Buffer.t, lazy_t, mutable-field
+      records), plus state captured by toplevel closures
+      ([let f = let cache = Hashtbl.create .. in fun x -> ..]) and
+      toplevel aliases of such state across modules.
+
+   2. {b Reach}: compute which functions can run inside an LP callback.
+      Every function in an LP-resident layer (the simulated hardware and
+      OS stack: nic / guestos / xen / host / memory / bus / core /
+      ethernet / workload) is LP code by construction; elsewhere (sim,
+      experiments) a literal closure passed to [Engine.schedule],
+      [Engine.schedule_at], [Shard.send] or to any LP-layer function is
+      an LP entry, and the set closes over call edges. Witness chains are
+      kept per hop, [file:line], like [Cdna_flow]'s taint chains.
+
+   3. {b Classify} each item on the lattice: [dls] (Domain.DLS-backed),
+      [sync] (Mutex / Condition / Semaphore / Atomic — synchronization
+      primitives, domain-safe by construction), [frozen] (written only by
+      its initializer, which runs on the main domain before any
+      [Domain.spawn]), [lp-local] (never referenced from LP-capable
+      code), [barrier] (every referencing function takes a mutex /
+      condition first — the shard pool's merge path), [domain-local]
+      (asserted by annotation), or [shared] — mutable, written, and
+      reachable from LP context: a violation.
+
+   Annotation contract (drift-gated like all other suppressions):
+   - [[@cdna.domain_local]] on the binding: positive assertion that the
+     value, though mutable, is only ever touched by a single LP (or only
+     between windows). No reason string required; counted in stats.
+   - [[@cdna.domain_shared "reason"]] on the binding (or
+     [[@@@cdna.domain_shared "reason"]] for a whole module): suppress the
+     violation; the reason string is mandatory (rule DS1).
+
+   Rules:
+   - DM1-shared-mutable: toplevel mutable state reachable from LP code.
+   - DM2-captured-shared: closure-captured state reachable from LP code.
+   - DM3-domain-local-misuse: [@cdna.domain_local] on a non-state binding.
+   - DS1-suppression-reason: [@cdna.domain_shared] without a reason. *)
+
+exception Dom_error of string
+
+module SSet = Cdna_flow.SSet
+module SMap = Cdna_flow.SMap
+module IdentMap = Map.Make (Ident)
+
+type hop = Cdna_flow.hop = { hop_what : string; hop_file : string; hop_line : int }
+
+type violation = Cdna_flow.violation = {
+  rule : string;
+  file : string;
+  line : int;
+  msg : string;
+  chain : hop list;
+  suppress : string option;
+}
+
+let rule_dm1 = "DM1-shared-mutable"
+let rule_dm2 = "DM2-captured-shared"
+let rule_dm3 = "DM3-domain-local-misuse"
+let rule_ds1 = "DS1-suppression-reason"
+let violation_compare = Cdna_flow.violation_compare
+let violation_to_string = Cdna_flow.violation_to_string
+
+(* ------------------------------------------------------------------ *)
+(* Classification lattice                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cls = Dls | Sync | Frozen | Lp_local | Barrier | Domain_local | Shared
+
+let cls_name = function
+  | Dls -> "dls"
+  | Sync -> "sync"
+  | Frozen -> "frozen"
+  | Lp_local -> "lp-local"
+  | Barrier -> "barrier"
+  | Domain_local -> "domain-local"
+  | Shared -> "shared"
+
+(* ------------------------------------------------------------------ *)
+(* Program representation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type item = {
+  i_id : string; (* "Mod.name", or "Mod.fn.name" for captured state *)
+  i_kind : string; (* "ref", "Hashtbl.t", "mutable record", ... *)
+  i_file : string;
+  i_line : int;
+  i_captured_in : string option; (* defining function, for closures *)
+  i_alias_of : string option; (* [let t = A.t]: canonical target *)
+  i_domain_local : bool;
+  i_suppress : string option; (* domain_shared reason; Some "" = missing *)
+  i_sync : bool;
+  i_dls : bool;
+  mutable i_class : cls;
+}
+
+type use = {
+  u_item : string; (* item id as referenced (possibly an alias) *)
+  u_fn : string;
+  u_what : string;
+  u_write : bool;
+  u_line : int;
+  u_sched : bool; (* inside a closure scheduled onto an engine *)
+}
+
+type dcall = { dc_callee : string; dc_line : int; dc_sched : bool }
+
+type dfn = {
+  d_id : string;
+  d_module : string;
+  d_file : string;
+  d_line : int;
+  d_layer : string;
+  d_body : Typedtree.expression;
+  mutable d_locks : bool; (* takes a mutex / waits a condition *)
+  mutable d_calls : dcall list;
+}
+
+type prog = {
+  mutable fns : dfn SMap.t;
+  mutable items : item SMap.t;
+  mutable aliases : string SMap.t; (* module aliases, for canon_of *)
+  mutable uses : use list;
+  mutable extra_viols : violation list; (* DM3 / DS1 *)
+  mutable n_files : int;
+  mutable n_domain_local : int;
+  mutable n_domain_shared : int;
+  (* Captured-state idents -> item id, for closure-captured state. *)
+  mutable captured : string IdentMap.t;
+}
+
+type report = {
+  cmt_files : int;
+  functions : int;
+  state_items : int;
+  classes : (string * int) list; (* class name -> count, sorted *)
+  violations : violation list; (* unsuppressed, sorted *)
+  suppressed : violation list;
+  domain_local : int; (* [@cdna.domain_local] assertions *)
+  domain_shared : int; (* [@cdna.domain_shared] suppressions *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* LP layers and scheduling primitives                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in these layers executes inside engine callbacks: the
+   simulated hardware/OS stack is driven exclusively by scheduled
+   events. [sim] and [experiments] are mixed control-plane/LP code and
+   rely on closure reachability instead. *)
+let lp_layers =
+  SSet.of_list
+    [
+      "nic"; "guestos"; "xen"; "host"; "memory"; "bus"; "core"; "ethernet";
+      "workload";
+    ]
+
+let layer_of_file file =
+  let l = Cdna_flow.layer_of_file file in
+  if l <> "" then l
+  else if Cdna_flow.path_has_dir file "lib/ethernet" then "ethernet"
+  else if Cdna_flow.path_has_dir file "lib/workload" then "workload"
+  else if Cdna_flow.path_has_dir file "lib/cdna" then "cdna-ext"
+  else if Cdna_flow.path_has_dir file "lib/sim" then "sim"
+  else if Cdna_flow.path_has_dir file "lib/experiments" then "experiments"
+  else ""
+
+(* lib/cdna is the CDNA hypervisor extension: LP-resident too. *)
+let lp_layers = SSet.add "cdna-ext" lp_layers
+
+(* A literal closure passed to one of these runs as an engine callback
+   on whatever domain the LP lands on. *)
+let sched_prims =
+  SSet.of_list [ "Engine.schedule"; "Engine.schedule_at"; "Shard.send" ]
+
+(* Functions that make the enclosing caller part of the barrier-guarded
+   merge path. *)
+let lock_fns =
+  SSet.of_list
+    [ "Mutex.lock"; "Mutex.protect"; "Condition.wait"; "Semaphore.acquire" ]
+
+(* ------------------------------------------------------------------ *)
+(* Read / write contract per container                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical ("Mod.fn") or bare operator names that only read their
+   container argument. *)
+let read_fns =
+  SSet.of_list
+    [
+      "!";
+      "Hashtbl.find"; "Hashtbl.find_opt"; "Hashtbl.find_all"; "Hashtbl.mem";
+      "Hashtbl.length"; "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq";
+      "Hashtbl.to_seq_keys"; "Hashtbl.to_seq_values";
+      "Array.get"; "Array.unsafe_get"; "Array.length"; "Array.iter";
+      "Array.iteri"; "Array.fold_left"; "Array.fold_right"; "Array.map";
+      "Array.mapi"; "Array.to_list"; "Array.mem"; "Array.exists";
+      "Array.for_all"; "Array.copy"; "Array.sub";
+      "Bytes.get"; "Bytes.unsafe_get"; "Bytes.length"; "Bytes.sub";
+      "Bytes.sub_string"; "Bytes.to_string"; "Bytes.copy";
+      "Bytes.get_uint8"; "Bytes.get_uint16_le"; "Bytes.get_int32_le";
+      "Queue.length"; "Queue.is_empty"; "Queue.peek"; "Queue.peek_opt";
+      "Queue.iter"; "Queue.fold"; "Queue.copy";
+      "Stack.length"; "Stack.is_empty"; "Stack.top"; "Stack.top_opt";
+      "Buffer.contents"; "Buffer.length"; "Buffer.to_bytes"; "Buffer.nth";
+      "Lazy.is_val";
+      "Atomic.get";
+      "DLS.get";
+    ]
+
+(* Names that mutate their container argument. [Lazy.force] counts as a
+   write: forcing the same suspension from two domains races. *)
+let write_fns =
+  SSet.of_list
+    [
+      ":="; "incr"; "decr";
+      "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
+      "Hashtbl.clear"; "Hashtbl.filter_map_inplace";
+      "Array.set"; "Array.unsafe_set"; "Array.fill"; "Array.blit";
+      "Array.sort"; "Array.fast_sort"; "Array.stable_sort";
+      "Bytes.set"; "Bytes.unsafe_set"; "Bytes.fill"; "Bytes.blit";
+      "Bytes.blit_string"; "Bytes.unsafe_blit";
+      "Bytes.set_uint8"; "Bytes.set_uint16_le"; "Bytes.set_int32_le";
+      "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take";
+      "Queue.take_opt"; "Queue.clear"; "Queue.transfer";
+      "Stack.push"; "Stack.pop"; "Stack.pop_opt"; "Stack.clear";
+      "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+      "Buffer.add_subbytes"; "Buffer.clear"; "Buffer.reset";
+      "Lazy.force"; "Lazy.force_val";
+      "Atomic.set"; "Atomic.incr"; "Atomic.decr"; "Atomic.exchange";
+      "Atomic.compare_and_set"; "Atomic.fetch_and_add";
+      "DLS.set";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutability of a binding, from its type                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [Some kind] when a value of type [ty] is module-level mutable state;
+   [`Dls] / [`Sync] short-circuit the classification. Record types are
+   resolved through [env] so abbreviations of mutable-field records are
+   caught too. *)
+let rec state_kind aliases env fuel ty =
+  if fuel = 0 then None
+  else
+    match Types.get_desc ty with
+    | Types.Tconstr (p, _, _) -> (
+        let c = Cdna_flow.canon_of aliases (Path.name p) in
+        let k = Cdna_flow.last_comp c in
+        if c = "DLS.key" then Some `Dls
+        else if
+          c = "Mutex.t" || c = "Condition.t" || c = "Atomic.t"
+          || c = "Semaphore.t" || c = "Binary.t" || c = "Counting.t"
+        then Some `Sync
+        else if k = "ref" then Some (`Mut "ref")
+        else if k = "array" then Some (`Mut "array")
+        else if k = "bytes" then Some (`Mut "bytes")
+        else if k = "lazy_t" || c = "Lazy.t" then Some (`Mut "lazy")
+        else if c = "Hashtbl.t" then Some (`Mut "Hashtbl.t")
+        else if c = "Queue.t" then Some (`Mut "Queue.t")
+        else if c = "Stack.t" then Some (`Mut "Stack.t")
+        else if c = "Buffer.t" then Some (`Mut "Buffer.t")
+        else
+          (* cmt envs are summaries: a direct lookup misses types the
+             summary hasn't materialized, so fall back to rehydrating
+             the env through the load path. *)
+          let decl =
+            match Env.find_type p env with
+            | d -> Some d
+            | exception Not_found -> (
+                match Env.find_type p (Envaux.env_of_only_summary env) with
+                | d -> Some d
+                | exception _ -> None)
+          in
+          match decl with
+          | None -> None
+          | Some decl -> (
+              match decl.Types.type_kind with
+              | Types.Type_record (lds, _)
+                when List.exists
+                       (fun ld -> ld.Types.ld_mutable = Asttypes.Mutable)
+                       lds ->
+                  Some (`Mut "mutable record")
+              | _ -> (
+                  match decl.Types.type_manifest with
+                  | Some ty' -> state_kind aliases env (fuel - 1) ty'
+                  | None -> None)))
+    | Types.Ttuple tys ->
+        List.fold_left
+          (fun acc ty' ->
+            match acc with
+            | Some _ -> acc
+            | None -> state_kind aliases env (fuel - 1) ty')
+          None tys
+    | Types.Tlink ty' | Types.Tsubst (ty', _) ->
+        state_kind aliases env (fuel - 1) ty'
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Collection (pass 1): items, functions, module aliases               *)
+(* ------------------------------------------------------------------ *)
+
+let loc_line = Cdna_flow.loc_line
+
+let hop what (loc : Location.t) =
+  {
+    hop_what = what;
+    hop_file = Cdna_flow.loc_file loc;
+    hop_line = loc_line loc;
+  }
+
+(* Peel the [let a = .. in let b = .. in fun x -> ..] spine of a
+   toplevel closure: returns the captured bindings and whether the spine
+   ends in a function. *)
+let rec closure_spine (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function _ -> Some []
+  | Typedtree.Texp_let (_, vbs, body) -> (
+      match closure_spine body with
+      | Some captured -> Some (vbs @ captured)
+      | None -> None)
+  | _ -> None
+
+let add_item prog it = prog.items <- SMap.add it.i_id it prog.items
+
+(* [let x = ..] and [let x : t = ..] bind through different pattern
+   constructors. *)
+let pat_var (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Typedtree.Tpat_var (id, { txt; _ }) -> Some (id, txt)
+  | Typedtree.Tpat_alias ({ pat_desc = Typedtree.Tpat_any; _ }, id, { txt; _ })
+    ->
+      Some (id, txt)
+  | _ -> None
+
+let register_binding prog ~modname ~file ~layer ~mod_suppress
+    (vb : Typedtree.value_binding) =
+  match pat_var vb.Typedtree.vb_pat with
+  | Some (ident, name) -> (
+      let attrs = vb.Typedtree.vb_attributes in
+      let domain_local = Cdna_flow.has_attr "cdna.domain_local" attrs in
+      let suppress =
+        match Cdna_flow.find_attr "cdna.domain_shared" attrs with
+        | Some a -> (
+            prog.n_domain_shared <- prog.n_domain_shared + 1;
+            match Cdna_flow.attr_reason a with
+            | Some r when String.trim r <> "" -> Some r
+            | _ ->
+                prog.extra_viols <-
+                  {
+                    rule = rule_ds1;
+                    file;
+                    line = loc_line vb.vb_loc;
+                    msg =
+                      Printf.sprintf
+                        "[@cdna.domain_shared] on '%s.%s' needs a reason \
+                         string explaining why sharing is safe"
+                        modname name;
+                    chain = [];
+                    suppress = None;
+                  }
+                  :: prog.extra_viols;
+                Some "")
+        | None -> mod_suppress
+      in
+      if domain_local then prog.n_domain_local <- prog.n_domain_local + 1;
+      let id = modname ^ "." ^ name in
+      let env = vb.vb_expr.exp_env in
+      let mk kind ?(captured_in = None) ?(alias_of = None) ~sync ~dls () =
+        add_item prog
+          {
+            i_id = id;
+            i_kind = kind;
+            i_file = file;
+            i_line = loc_line vb.vb_loc;
+            i_captured_in = captured_in;
+            i_alias_of = alias_of;
+            i_domain_local = domain_local;
+            i_suppress = suppress;
+            i_sync = sync;
+            i_dls = dls;
+            i_class = Lp_local;
+          }
+      in
+      let dm3 () =
+        prog.extra_viols <-
+          {
+            rule = rule_dm3;
+            file;
+            line = loc_line vb.vb_loc;
+            msg =
+              Printf.sprintf
+                "[@cdna.domain_local] on '%s' which is not mutable \
+                 module-level state"
+                id;
+            chain = [];
+            suppress = None;
+          }
+          :: prog.extra_viols
+      in
+      match (vb.vb_expr.exp_desc, closure_spine vb.vb_expr) with
+      | (Typedtree.Texp_function _ | Typedtree.Texp_let _), Some captured ->
+          (* A function, possibly with captured state in its let-spine. *)
+          let n_captured = ref 0 in
+          List.iter
+            (fun (cvb : Typedtree.value_binding) ->
+              match pat_var cvb.vb_pat with
+              | Some (cident, cname) -> (
+                  match
+                    state_kind prog.aliases cvb.vb_expr.exp_env 8
+                      cvb.vb_expr.exp_type
+                  with
+                  | Some (`Mut kind) ->
+                      incr n_captured;
+                      let cid = id ^ "." ^ cname in
+                      prog.captured <- IdentMap.add cident cid prog.captured;
+                      add_item prog
+                        {
+                          i_id = cid;
+                          i_kind = kind;
+                          i_file = file;
+                          i_line = loc_line cvb.vb_loc;
+                          i_captured_in = Some id;
+                          i_alias_of = None;
+                          i_domain_local = domain_local;
+                          i_suppress = suppress;
+                          i_sync = false;
+                          i_dls = false;
+                          i_class = Lp_local;
+                        }
+                  | Some `Dls | Some `Sync | None -> ())
+              | None -> ())
+            captured;
+          if domain_local && !n_captured = 0 then dm3 ();
+          let fn =
+            {
+              d_id = id;
+              d_module = modname;
+              d_file = file;
+              d_line = loc_line vb.vb_loc;
+              d_layer = layer;
+              d_body = vb.vb_expr;
+              d_locks = false;
+              d_calls = [];
+            }
+          in
+          prog.fns <- SMap.add id fn prog.fns
+      | _ -> (
+          ignore ident;
+          (* [let t = A.t]: an alias shares the target's identity, so it
+             must win over the mutable-type check; resolved during
+             classification. *)
+          let alias_target =
+            match vb.vb_expr.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> (
+                match p with
+                | Path.Pident id ->
+                    let t = modname ^ "." ^ Ident.name id in
+                    if SMap.mem t prog.items then Some t else None
+                | _ ->
+                    let t = Cdna_flow.canon_of prog.aliases (Path.name p) in
+                    if String.contains t '.' then Some t else None)
+            | _ -> None
+          in
+          match alias_target with
+          | Some target ->
+              mk "alias" ~alias_of:(Some target) ~sync:false ~dls:false ()
+          | None -> (
+              match state_kind prog.aliases env 8 vb.vb_expr.exp_type with
+              | Some `Dls -> mk "DLS.key" ~sync:false ~dls:true ()
+              | Some `Sync -> mk "sync primitive" ~sync:true ~dls:false ()
+              | Some (`Mut kind) -> mk kind ~sync:false ~dls:false ()
+              | None -> if domain_local then dm3 ())))
+  | _ -> ()
+
+let rec collect_module prog ~modname ~file ~layer (str : Typedtree.structure) =
+  (* Module-level attributes: layer override and whole-module
+     suppression. *)
+  let layer = ref layer and mod_suppress = ref None in
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_attribute a -> (
+          (if Cdna_flow.attr_name a = "cdna.layer" then
+             match Cdna_flow.attr_reason a with
+             | Some l -> layer := l
+             | None -> ());
+          if Cdna_flow.attr_name a = "cdna.domain_shared" then (
+            prog.n_domain_shared <- prog.n_domain_shared + 1;
+            match Cdna_flow.attr_reason a with
+            | Some r when String.trim r <> "" -> mod_suppress := Some r
+            | _ ->
+                prog.extra_viols <-
+                  {
+                    rule = rule_ds1;
+                    file;
+                    line = loc_line a.attr_loc;
+                    msg =
+                      Printf.sprintf
+                        "[@@@cdna.domain_shared] on module %s needs a \
+                         reason string explaining why sharing is safe"
+                        modname;
+                    chain = [];
+                    suppress = None;
+                  }
+                  :: prog.extra_viols;
+                mod_suppress := Some ""))
+      | _ -> ())
+    str.str_items;
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.iter
+            (register_binding prog ~modname ~file ~layer:!layer
+               ~mod_suppress:!mod_suppress)
+            vbs
+      | Typedtree.Tstr_module mb ->
+          collect_module_binding prog ~file ~layer:!layer mb
+      | Typedtree.Tstr_recmodule mbs ->
+          List.iter (collect_module_binding prog ~file ~layer:!layer) mbs
+      | _ -> ())
+    str.str_items
+
+and collect_module_binding prog ~file ~layer (mb : Typedtree.module_binding) =
+  let name =
+    match mb.mb_id with
+    | Some id -> Ident.name id
+    | None -> ( match mb.mb_name.txt with Some n -> n | None -> "_")
+  in
+  let rec of_mexpr (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Typedtree.Tmod_ident (p, _) ->
+        prog.aliases <-
+          SMap.add name
+            (String.concat "."
+               (List.map Cdna_flow.strip_wrap
+                  (Cdna_flow.split_on_dot (Path.name p))))
+            prog.aliases
+    | Typedtree.Tmod_apply (f, _, _) -> (
+        let rec functor_path (me : Typedtree.module_expr) =
+          match me.mod_desc with
+          | Typedtree.Tmod_ident (p, _) -> Some (Path.name p)
+          | Typedtree.Tmod_apply (f, _, _) -> functor_path f
+          | Typedtree.Tmod_constraint (m, _, _, _) -> functor_path m
+          | _ -> None
+        in
+        match functor_path f with
+        | Some p -> (
+            match
+              List.rev
+                (List.map Cdna_flow.strip_wrap (Cdna_flow.split_on_dot p))
+            with
+            | _make :: parent ->
+                prog.aliases <-
+                  SMap.add name (String.concat "." (List.rev parent))
+                    prog.aliases
+            | [] -> ())
+        | None -> ())
+    | Typedtree.Tmod_structure s ->
+        collect_module prog ~modname:name ~file ~layer s
+    | Typedtree.Tmod_constraint (m, _, _, _) -> of_mexpr m
+    | _ -> ()
+  in
+  of_mexpr mb.mb_expr
+
+(* ------------------------------------------------------------------ *)
+(* Facts (pass 2): state uses, call edges, scheduled closures          *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve an expression to an item id: direct reference, same-module
+   unqualified reference, closure-captured local, or function-local
+   alias ([let t = A.table in .. t ..]). *)
+let resolve_item prog ~f (local : string IdentMap.t)
+    (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> (
+      match p with
+      | Path.Pident id -> (
+          match IdentMap.find_opt id local with
+          | Some item -> Some item
+          | None -> (
+              match IdentMap.find_opt id prog.captured with
+              | Some item -> Some item
+              | None ->
+                  let qualified = f.d_module ^ "." ^ Ident.name id in
+                  if SMap.mem qualified prog.items then Some qualified
+                  else None))
+      | _ ->
+          let c = Cdna_flow.canon_of prog.aliases (Path.name p) in
+          if SMap.mem c prog.items then Some c else None)
+  | _ -> None
+
+let collect_facts prog (f : dfn) =
+  let calls = ref [] and uses = ref [] in
+  let sched_depth = ref 0 in
+  let add_call callee line =
+    calls :=
+      { dc_callee = callee; dc_line = line; dc_sched = !sched_depth > 0 }
+      :: !calls
+  in
+  let add_use item what ~write line =
+    uses :=
+      {
+        u_item = item;
+        u_fn = f.d_id;
+        u_what = what;
+        u_write = write;
+        u_line = line;
+        u_sched = !sched_depth > 0;
+      }
+      :: !uses
+  in
+  (* Is [callee] an LP entry point for literal closure arguments? *)
+  let schedules_closures callee =
+    SSet.mem callee sched_prims
+    ||
+    match SMap.find_opt callee prog.fns with
+    | Some g -> SSet.mem g.d_layer lp_layers
+    | None -> false
+  in
+  let rec visit local (e : Typedtree.expression) =
+    (* Generic child traversal that keeps [local] in scope. *)
+    let default () =
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          expr = (fun _ e' -> visit local e');
+        }
+      in
+      Tast_iterator.default_iterator.expr it e
+    in
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_let (_, vbs, body) ->
+        let local =
+          List.fold_left
+            (fun local (vb : Typedtree.value_binding) ->
+              match
+                (pat_var vb.vb_pat, resolve_item prog ~f local vb.vb_expr)
+              with
+              | Some (id, _), Some item ->
+                  (* Pure local alias: track, don't count as a use. *)
+                  IdentMap.add id item local
+              | _ ->
+                  visit local vb.vb_expr;
+                  local)
+            local vbs
+        in
+        visit local body
+    | Typedtree.Texp_apply (fe, args) -> (
+        let callee =
+          match fe.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) ->
+              Some (Cdna_flow.canon_of prog.aliases (Path.name p))
+          | _ -> None
+        in
+        match callee with
+        | Some c ->
+            let op = Cdna_flow.last_comp c in
+            let line = loc_line e.exp_loc in
+            add_call c line;
+            let sched_arg = schedules_closures c in
+            List.iter
+              (fun ((_, a) : _ * Typedtree.expression option) ->
+                match a with
+                | None -> ()
+                | Some a -> (
+                    match resolve_item prog ~f local a with
+                    | Some item ->
+                        if SSet.mem c write_fns || SSet.mem op write_fns then
+                          add_use item
+                            (Printf.sprintf "write (%s)" op)
+                            ~write:true line
+                        else if SSet.mem c read_fns || SSet.mem op read_fns
+                        then
+                          add_use item
+                            (Printf.sprintf "read (%s)" op)
+                            ~write:false line
+                        else
+                          (* Conservative: once the container escapes to
+                             an arbitrary callee we must assume writes. *)
+                          add_use item
+                            (Printf.sprintf "escapes to %s" c)
+                            ~write:true line
+                    | None -> (
+                        match a.Typedtree.exp_desc with
+                        | Typedtree.Texp_function _ when sched_arg ->
+                            incr sched_depth;
+                            visit local a;
+                            decr sched_depth
+                        | _ -> visit local a)))
+              args
+        | None ->
+            visit local fe;
+            List.iter
+              (fun ((_, a) : _ * Typedtree.expression option) ->
+                match a with Some a -> visit local a | None -> ())
+              args)
+    | Typedtree.Texp_setfield (e1, _, ld, e2) ->
+        (match resolve_item prog ~f local e1 with
+        | Some item ->
+            add_use item
+              (Printf.sprintf "field write (%s <-)" ld.Types.lbl_name)
+              ~write:true (loc_line e.exp_loc)
+        | None -> visit local e1);
+        visit local e2
+    | Typedtree.Texp_field (e1, _, ld) -> (
+        match resolve_item prog ~f local e1 with
+        | Some item ->
+            add_use item
+              (Printf.sprintf "field read (%s)" ld.Types.lbl_name)
+              ~write:false (loc_line e.exp_loc)
+        | None -> visit local e1)
+    | Typedtree.Texp_ident _ -> (
+        match resolve_item prog ~f local e with
+        | Some item ->
+            (* A bare reference we can't see through: escape. *)
+            add_use item "referenced (escape)" ~write:true
+              (loc_line e.exp_loc)
+        | None -> ())
+    | _ -> default ()
+  in
+  visit IdentMap.empty f.d_body;
+  (* Intra-module [Pident] callees: qualify against this module. *)
+  let resolve c =
+    if SMap.mem c prog.fns then c
+    else
+      let qualified = f.d_module ^ "." ^ c in
+      if String.contains c '.' || not (SMap.mem qualified prog.fns) then c
+      else qualified
+  in
+  let calls =
+    List.rev_map (fun c -> { c with dc_callee = resolve c.dc_callee }) !calls
+  in
+  f.d_calls <- calls;
+  f.d_locks <-
+    List.exists (fun c -> SSet.mem c.dc_callee lock_fns) calls
+    || List.exists
+         (fun c -> SSet.mem (Cdna_flow.last_comp c.dc_callee) lock_fns)
+         calls;
+  prog.uses <- !uses @ prog.uses
+
+(* ------------------------------------------------------------------ *)
+(* LP reachability (pass 3)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* BFS over call edges from LP roots; [chains] maps each LP-capable
+   function to its witness path (oldest hop first). *)
+let lp_reachability prog =
+  let chains : hop list SMap.t ref = ref SMap.empty in
+  let queue = Queue.create () in
+  let enqueue id chain =
+    if not (SMap.mem id !chains) then begin
+      chains := SMap.add id chain !chains;
+      Queue.push id queue
+    end
+  in
+  (* Roots, in deterministic order: layer-resident functions first, then
+     closures handed to scheduling primitives. *)
+  SMap.iter
+    (fun id (f : dfn) ->
+      if SSet.mem f.d_layer lp_layers then
+        enqueue id
+          [
+            {
+              hop_what =
+                Printf.sprintf "%s lives in LP-resident layer '%s'" id
+                  f.d_layer;
+              hop_file = f.d_file;
+              hop_line = f.d_line;
+            };
+          ])
+    prog.fns;
+  SMap.iter
+    (fun _ (f : dfn) ->
+      List.iter
+        (fun c ->
+          if c.dc_sched then
+            match SMap.find_opt c.dc_callee prog.fns with
+            | Some g ->
+                enqueue g.d_id
+                  [
+                    {
+                      hop_what =
+                        Printf.sprintf
+                          "%s called from a closure scheduled onto the \
+                           engine in %s"
+                          g.d_id f.d_id;
+                      hop_file = f.d_file;
+                      hop_line = c.dc_line;
+                    };
+                  ]
+            | None -> ())
+        f.d_calls)
+    prog.fns;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let chain = SMap.find id !chains in
+    match SMap.find_opt id prog.fns with
+    | None -> ()
+    | Some f ->
+        List.iter
+          (fun c ->
+            match SMap.find_opt c.dc_callee prog.fns with
+            | Some g when not (SMap.mem g.d_id !chains) ->
+                enqueue g.d_id
+                  (chain
+                  @ [
+                      {
+                        hop_what =
+                          Printf.sprintf "%s called from %s" g.d_id f.d_id;
+                        hop_file = f.d_file;
+                        hop_line = c.dc_line;
+                      };
+                    ])
+            | _ -> ())
+          f.d_calls
+  done;
+  !chains
+
+(* ------------------------------------------------------------------ *)
+(* Classification and reporting (pass 4)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Follow [let t = A.t] alias links to the root item, collecting one hop
+   per link. *)
+let resolve_alias prog (it : item) =
+  let rec go fuel (it : item) hops =
+    match it.i_alias_of with
+    | Some target when fuel > 0 -> (
+        match SMap.find_opt target prog.items with
+        | Some root ->
+            go (fuel - 1) root
+              (hops
+              @ [
+                  {
+                    hop_what =
+                      Printf.sprintf "aliased as %s = %s" it.i_id target;
+                    hop_file = it.i_file;
+                    hop_line = it.i_line;
+                  };
+                ])
+        | None -> None)
+    | Some _ -> None
+    | None -> Some (it, hops)
+  in
+  go 5 it []
+
+let analyze root =
+  if not (Sys.file_exists root) then
+    raise (Dom_error ("no such cmt root: " ^ root));
+  let prog =
+    {
+      fns = SMap.empty;
+      items = SMap.empty;
+      aliases = SMap.empty;
+      uses = [];
+      extra_viols = [];
+      n_files = 0;
+      n_domain_local = 0;
+      n_domain_shared = 0;
+      captured = IdentMap.empty;
+    }
+  in
+  let cmts = Cdna_flow.collect_cmts [] root |> List.sort String.compare in
+  (* Envs stored in cmt files are summaries; rehydrating them (for the
+     mutable-record check in [state_kind]) loads .cmi files, so the load
+     path must cover the cmt dirs and the stdlib. *)
+  let cmt_dirs =
+    List.sort_uniq String.compare (List.map Filename.dirname cmts)
+  in
+  Load_path.init ~auto_include:Load_path.no_auto_include
+    (cmt_dirs @ [ Config.standard_library ]);
+  List.iter
+    (fun path ->
+      match Cmt_format.read_cmt path with
+      | exception _ -> ()
+      | cmt -> (
+          match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+          | Cmt_format.Implementation str, Some src
+            when not (Filename.check_suffix src ".ml-gen") ->
+              prog.n_files <- prog.n_files + 1;
+              let modname = Cdna_flow.strip_wrap cmt.cmt_modname in
+              let layer = layer_of_file src in
+              collect_module prog ~modname ~file:src ~layer str
+          | Cmt_format.Implementation str, Some _ ->
+              (* dune alias modules: harvest [module X = Lib__X] only. *)
+              List.iter
+                (fun (item : Typedtree.structure_item) ->
+                  match item.str_desc with
+                  | Typedtree.Tstr_module mb ->
+                      collect_module_binding prog ~file:"" ~layer:"" mb
+                  | _ -> ())
+                str.str_items
+          | _ -> ()))
+    cmts;
+  let fns_sorted = SMap.bindings prog.fns |> List.map snd in
+  List.iter (collect_facts prog) fns_sorted;
+  let lp_chains = lp_reachability prog in
+  (* Resolve uses through toplevel aliases onto root items. *)
+  let resolved_uses =
+    List.filter_map
+      (fun u ->
+        match SMap.find_opt u.u_item prog.items with
+        | None -> None
+        | Some it -> (
+            match resolve_alias prog it with
+            | Some (root, hops) -> Some (root.i_id, hops, u)
+            | None -> None))
+      prog.uses
+  in
+  let uses_of id =
+    List.filter (fun (rid, _, _) -> rid = id) resolved_uses
+    |> List.map (fun (_, hops, u) -> (hops, u))
+    |> List.sort (fun (_, a) (_, b) ->
+           let c = String.compare a.u_fn b.u_fn in
+           if c <> 0 then c else Int.compare a.u_line b.u_line)
+  in
+  let viols = ref prog.extra_viols in
+  let roots =
+    SMap.bindings prog.items |> List.map snd
+    |> List.filter (fun it -> it.i_alias_of = None)
+  in
+  List.iter
+    (fun (it : item) ->
+      if it.i_dls then it.i_class <- Dls
+      else if it.i_sync then it.i_class <- Sync
+      else begin
+        let uses = uses_of it.i_id in
+        let writes = List.filter (fun (_, u) -> u.u_write) uses in
+        let lp_use (_, u) = u.u_sched || SMap.mem u.u_fn lp_chains in
+        let lp_uses = List.filter lp_use uses in
+        if it.i_domain_local then it.i_class <- Domain_local
+        else if writes = [] then it.i_class <- Frozen
+        else if lp_uses = [] then it.i_class <- Lp_local
+        else if
+          List.for_all
+            (fun (_, u) ->
+              match SMap.find_opt u.u_fn prog.fns with
+              | Some f -> f.d_locks
+              | None -> false)
+            uses
+        then it.i_class <- Barrier
+        else begin
+          it.i_class <- Shared;
+          (* One violation per (item, LP-referencing function). *)
+          let seen = ref SSet.empty in
+          List.iter
+            (fun (alias_hops, u) ->
+              if not (SSet.mem u.u_fn !seen) then begin
+                seen := SSet.add u.u_fn !seen;
+                let use_file =
+                  match SMap.find_opt u.u_fn prog.fns with
+                  | Some g -> g.d_file
+                  | None -> it.i_file
+                in
+                let witness =
+                  match SMap.find_opt u.u_fn lp_chains with
+                  | Some chain -> chain
+                  | None ->
+                      [
+                        {
+                          hop_what =
+                            Printf.sprintf
+                              "use sits in a closure %s schedules onto the \
+                               engine"
+                              u.u_fn;
+                          hop_file = use_file;
+                          hop_line = u.u_line;
+                        };
+                      ]
+                in
+                let decl =
+                  {
+                    hop_what =
+                      Printf.sprintf "%s '%s' defined at module level"
+                        it.i_kind it.i_id;
+                    hop_file = it.i_file;
+                    hop_line = it.i_line;
+                  }
+                in
+                let use_hop =
+                  {
+                    hop_what = Printf.sprintf "%s in %s" u.u_what u.u_fn;
+                    hop_file = use_file;
+                    hop_line = u.u_line;
+                  }
+                in
+                let rule =
+                  if it.i_captured_in <> None then rule_dm2 else rule_dm1
+                in
+                let msg =
+                  Printf.sprintf
+                    "%s '%s'%s is mutable, written, and reachable from LP \
+                     context via %s — move it into a per-LP/per-instance \
+                     record, back it with Domain.DLS, or suppress with \
+                     [@cdna.domain_shared \"reason\"]"
+                    it.i_kind it.i_id
+                    (match it.i_captured_in with
+                    | Some f -> " (captured by " ^ f ^ ")"
+                    | None -> "")
+                    u.u_fn
+                in
+                viols :=
+                  {
+                    rule;
+                    file = use_file;
+                    line = u.u_line;
+                    msg;
+                    chain = [ decl ] @ alias_hops @ witness @ [ use_hop ];
+                    suppress =
+                      (match it.i_suppress with
+                      | Some r when r <> "" -> Some r
+                      | _ -> None);
+                  }
+                  :: !viols
+              end)
+            lp_uses
+        end
+      end)
+    roots;
+  let suppressed, violations =
+    List.partition (fun v -> v.suppress <> None) !viols
+  in
+  (* Items carrying a non-empty [@cdna.domain_shared] that classified
+     Shared are accounted as suppressed above; one with an empty reason
+     already produced its DS1. *)
+  let class_counts =
+    List.fold_left
+      (fun acc (it : item) ->
+        let k = cls_name it.i_class in
+        let n = try List.assoc k acc with Not_found -> 0 in
+        (k, n + 1) :: List.remove_assoc k acc)
+      [] roots
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    cmt_files = prog.n_files;
+    functions = SMap.cardinal prog.fns;
+    state_items = List.length roots;
+    classes = class_counts;
+    violations = List.sort_uniq violation_compare violations;
+    suppressed = List.sort_uniq violation_compare suppressed;
+    domain_local = prog.n_domain_local;
+    domain_shared = prog.n_domain_shared;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let report_to_json r =
+  let rule_counts vs =
+    List.fold_left
+      (fun acc (v : violation) ->
+        let n = try List.assoc v.rule acc with Not_found -> 0 in
+        (v.rule, n + 1) :: List.remove_assoc v.rule acc)
+      [] vs
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Sim.Json.Obj
+    [
+      ("cmt_files", Sim.Json.Int r.cmt_files);
+      ("functions", Sim.Json.Int r.functions);
+      ("state_items", Sim.Json.Int r.state_items);
+      ( "classes",
+        Sim.Json.Obj (List.map (fun (k, n) -> (k, Sim.Json.Int n)) r.classes)
+      );
+      ("violations", Sim.Json.Int (List.length r.violations));
+      ( "rules",
+        Sim.Json.Obj
+          (List.map
+             (fun (k, n) -> (k, Sim.Json.Int n))
+             (rule_counts r.violations)) );
+      ("suppressions", Sim.Json.Int (List.length r.suppressed));
+      ("domain_local", Sim.Json.Int r.domain_local);
+      ("domain_shared", Sim.Json.Int r.domain_shared);
+    ]

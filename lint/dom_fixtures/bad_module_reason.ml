@@ -1,0 +1,8 @@
+[@@@cdna.layer "nic"]
+[@@@cdna.domain_shared]
+
+(* Known-bad: module-wide suppression missing its reason — DS1, and the
+   counter below stays unsuppressed. *)
+
+let errors = ref 0
+let note () = incr errors

@@ -1,0 +1,7 @@
+[@@@cdna.layer "nic"]
+
+(* Known-bad: suppression without a reason string — DS1 fires, and the
+   DM1 stays unsuppressed. *)
+
+let hits = ref 0 [@@cdna.domain_shared]
+let bump () = incr hits

@@ -1,0 +1,7 @@
+[@@@cdna.layer "nic"]
+
+(* Clean: per-domain state behind [Domain.DLS] — each LP reads its own
+   copy (dls class). *)
+
+let slot : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let bump () = incr (Domain.DLS.get slot)

@@ -1,0 +1,8 @@
+[@@@cdna.layer "workload"]
+
+(* Clean-by-assertion: scratch pool used by exactly one LP
+   ([@cdna.domain_local] is counted and drift-gated). *)
+
+let pool = Array.make 8 0 [@@cdna.domain_local]
+let put i v = Array.unsafe_set pool i v
+let get i = Array.unsafe_get pool i

@@ -1,0 +1,14 @@
+[@@@cdna.layer "ethernet"]
+
+(* Clean: initializer-built lookup table, read-only afterwards — the
+   post-fix [Crc32.tables] shape (frozen class; module initializers run
+   on the main domain before any spawn). *)
+
+let table =
+  let t = Array.make 256 0 in
+  for i = 1 to 255 do
+    t.(i) <- (t.(i - 1) + 31) land 0xff
+  done;
+  t
+
+let hash b = Array.unsafe_get table (b land 0xff)

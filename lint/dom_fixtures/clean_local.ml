@@ -1,0 +1,13 @@
+(* Clean: control-plane-only cache — mutable and written, but never
+   reachable from LP-resident code or a scheduled closure (lp-local
+   class). *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let memo k f =
+  match Hashtbl.find_opt cache k with
+  | Some v -> v
+  | None ->
+      let v = f k in
+      Hashtbl.add cache k v;
+      v

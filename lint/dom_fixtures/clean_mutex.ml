@@ -1,0 +1,17 @@
+(* Clean: merge-path state guarded by a mutex in every touching
+   function (barrier class). *)
+
+let m = Mutex.create ()
+let merged = ref 0
+
+let merge eng v =
+  Dom_env.Engine.schedule eng (fun () ->
+      Mutex.lock m;
+      merged := !merged + v;
+      Mutex.unlock m)
+
+let read_merged () =
+  Mutex.lock m;
+  let v = !merged in
+  Mutex.unlock m;
+  v

@@ -1,0 +1,12 @@
+[@@@cdna.layer "workload"]
+
+(* Clean-by-annotation: deliberately shared diagnostic counter with a
+   reason — the DM1 is recorded as suppressed, not a failure. *)
+
+let drops =
+  ref 0
+[@@cdna.domain_shared
+  "fixture: aggregate diagnostic; merged after the run, torn reads \
+   acceptable"]
+
+let note_drop () = incr drops

@@ -1,0 +1,4 @@
+(* Known-bad: [@cdna.domain_local] asserted on a plain function, which
+   is not mutable module-level state (DM3). *)
+
+let helper x = x + 1 [@@cdna.domain_local]

@@ -1,0 +1,4 @@
+(* Shared table, declared here; only written through [Dom_b]'s alias
+   from [Dom_c] — the violation must land there with the alias hop. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8

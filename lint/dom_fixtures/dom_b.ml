@@ -1,0 +1,4 @@
+(* Re-export: a toplevel alias of [Dom_a]'s state. Shares the target's
+   identity — must not register as a second independent table. *)
+
+let shared = Dom_a.table

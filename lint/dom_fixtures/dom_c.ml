@@ -1,0 +1,6 @@
+[@@@cdna.layer "guestos"]
+
+(* Known-bad: writes [Dom_a.table] through [Dom_b.shared] from an
+   LP-resident layer (DM1); the chain must span all three files. *)
+
+let record k v = Hashtbl.replace Dom_b.shared k v

@@ -1,0 +1,16 @@
+(* Substrate for the domain fixtures: engine/shard stand-ins whose
+   qualified names canonicalize like the real [Sim.Engine] /
+   [Sim.Shard] scheduling primitives, so closures handed to them count
+   as LP-callback context. *)
+
+module Engine = struct
+  type t = Eng
+
+  let create () = Eng
+  let schedule (_ : t) (f : unit -> unit) = f ()
+  let schedule_at (_ : t) (_ : int) (f : unit -> unit) = f ()
+end
+
+module Shard = struct
+  let send (f : unit -> unit) = f ()
+end

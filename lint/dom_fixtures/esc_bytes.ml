@@ -1,0 +1,5 @@
+(* Known-bad: toplevel [Bytes] scratch filled inside a closure handed
+   straight to the engine (DM1, scheduled-use path). *)
+
+let scratch = Bytes.create 64
+let arm eng = Dom_env.Engine.schedule eng (fun () -> Bytes.fill scratch 0 64 'x')

@@ -1,0 +1,14 @@
+[@@@cdna.layer "nic"]
+
+(* Known-bad: memo table captured in a toplevel closure's let-spine,
+   mutated from an LP-resident layer (DM2). *)
+
+let lookup =
+  let cache = Hashtbl.create 16 in
+  fun key ->
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+        let v = key * 2 in
+        Hashtbl.add cache key v;
+        v

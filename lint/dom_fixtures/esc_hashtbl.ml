@@ -1,0 +1,8 @@
+[@@@cdna.layer "host"]
+
+(* Known-bad: toplevel [Hashtbl] mutated directly from two LP-resident
+   entry points (DM1, one violation per touching function). *)
+
+let routes : (int, int) Hashtbl.t = Hashtbl.create 32
+let learn port dst = Hashtbl.replace routes dst port
+let forget dst = Hashtbl.remove routes dst

@@ -1,0 +1,7 @@
+(* Known-bad: the write happens two calls below the scheduled closure —
+   the witness chain must walk start -> tick -> commit (DM1). *)
+
+let epoch = ref 0
+let commit () = epoch := !epoch + 1
+let tick () = commit ()
+let start eng = Dom_env.Engine.schedule_at eng 5 (fun () -> tick ())

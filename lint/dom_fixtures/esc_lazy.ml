@@ -1,0 +1,7 @@
+[@@@cdna.layer "core"]
+
+(* Known-bad: the pre-fix [Crc32.tables] pattern — forcing a toplevel
+   lazy from LP code races the thunk across domains (DM1). *)
+
+let tables = lazy (Array.init 8 (fun i -> i * 3))
+let feed i = Array.get (Lazy.force tables) i

@@ -1,0 +1,11 @@
+[@@@cdna.layer "bus"]
+
+(* Known-bad: toplevel [Queue] written from LP code, including a write
+   that sits inside an ordinary (non-scheduled) lambda (DM1). *)
+
+let backlog : int Queue.t = Queue.create ()
+let push_all xs = List.iter (fun x -> Queue.add x backlog) xs
+
+let drain f =
+  Queue.iter f backlog;
+  Queue.clear backlog

@@ -1,0 +1,10 @@
+[@@@cdna.layer "xen"]
+
+(* Known-bad: toplevel mutable-field record mutated from an LP-resident
+   layer (DM1 via field write). *)
+
+type stats = { mutable hits : int; name : string }
+
+let global = { hits = 0; name = "g" }
+let bump () = global.hits <- global.hits + 1
+let describe () = global.name

@@ -1,0 +1,7 @@
+(* Known-bad: the pre-fix [Xen.Grant_table.count] pattern — a toplevel
+   ref written by a function reachable from an engine callback (DM1). *)
+
+let count = ref 0
+let flip () = incr count
+let total () = !count
+let start eng = Dom_env.Engine.schedule_at eng 10 (fun () -> flip ())

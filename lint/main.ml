@@ -1,12 +1,15 @@
-(* cdna_lint / cdna_flow CLI.
+(* cdna_lint / cdna_flow / cdna_dom CLI.
 
    Usage:
      main.exe [--json FILE] [--stats FILE] [--quiet] [--format text|github]
-              [--flow CMT_DIR] [--gate BASELINE] [DIR|FILE]...
+              [--flow CMT_DIR] [--dom CMT_DIR] [--gate BASELINE] [DIR|FILE]...
 
    Walks every [.ml] under the given roots (default: [lib]) through the
    parsetree checker; with [--flow] additionally runs the interprocedural
-   typedtree verifier over the compiled [.cmt] tree rooted at CMT_DIR.
+   typedtree verifier over the compiled [.cmt] tree rooted at CMT_DIR, and
+   with [--dom] the domain-safety / race detector over the same tree. One
+   invocation runs all requested passes and exits with a single combined
+   code.
 
    Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
@@ -23,7 +26,8 @@
 
 let usage =
   "usage: cdna_lint [--json FILE] [--stats FILE] [--quiet] [--format \
-   text|github] [--flow CMT_DIR] [--gate BASELINE] [PATH]..."
+   text|github] [--flow CMT_DIR] [--dom CMT_DIR] [--gate BASELINE] \
+   [PATH]..."
 
 let usage_error msg =
   prerr_endline ("cdna_lint: " ^ msg);
@@ -121,6 +125,16 @@ let run_gate ~baseline_path current =
        json_int current [ "flow"; "violations" ]);
       ("flow suppressions", json_int baseline [ "flow"; "suppressions" ],
        json_int current [ "flow"; "suppressions" ]);
+      ("dom violations", json_int baseline [ "dom"; "violations" ],
+       json_int current [ "dom"; "violations" ]);
+      ("dom suppressions", json_int baseline [ "dom"; "suppressions" ],
+       json_int current [ "dom"; "suppressions" ]);
+      ("dom domain_shared annotations",
+       json_int baseline [ "dom"; "domain_shared" ],
+       json_int current [ "dom"; "domain_shared" ]);
+      ("dom domain_local annotations",
+       json_int baseline [ "dom"; "domain_local" ],
+       json_int current [ "dom"; "domain_local" ]);
     ]
   in
   let drifted =
@@ -148,6 +162,7 @@ let () =
   let quiet = ref false in
   let format = ref `Text in
   let flow_root = ref None in
+  let dom_root = ref None in
   let gate = ref None in
   let roots = ref [] in
   let rec parse_args = function
@@ -160,6 +175,9 @@ let () =
         parse_args rest
     | "--flow" :: d :: rest ->
         flow_root := Some d;
+        parse_args rest
+    | "--dom" :: d :: rest ->
+        dom_root := Some d;
         parse_args rest
     | "--gate" :: f :: rest ->
         gate := Some f;
@@ -176,7 +194,8 @@ let () =
     | ("--help" | "-h") :: _ ->
         print_endline usage;
         exit 0
-    | [ ("--json" | "--stats" | "--flow" | "--gate" | "--format") ] ->
+    | [ ("--json" | "--stats" | "--flow" | "--dom" | "--gate" | "--format") ]
+      ->
         usage_error "missing option argument"
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
         usage_error ("unknown option " ^ arg)
@@ -207,6 +226,16 @@ let () =
             prerr_endline ("cdna_flow: " ^ msg);
             exit 2)
   in
+  let dom_report =
+    match !dom_root with
+    | None -> None
+    | Some d -> (
+        match Cdna_dom.analyze d with
+        | r -> Some r
+        | exception Cdna_dom.Dom_error msg ->
+            prerr_endline ("cdna_dom: " ^ msg);
+            exit 2)
+  in
   (* Reports. *)
   (match !format with
   | `Text ->
@@ -216,7 +245,13 @@ let () =
           List.iter
             (fun v -> print_endline (Cdna_flow.violation_to_string v))
             r.Cdna_flow.violations)
-        flow_report
+        flow_report;
+      Option.iter
+        (fun r ->
+          List.iter
+            (fun v -> print_endline (Cdna_dom.violation_to_string v))
+            r.Cdna_dom.violations)
+        dom_report
   | `Github ->
       List.iter
         (fun d ->
@@ -242,14 +277,35 @@ let () =
                 v.Cdna_flow.file v.Cdna_flow.line v.Cdna_flow.rule
                 (github_escape (v.Cdna_flow.msg ^ "\n" ^ chain)))
             r.Cdna_flow.violations)
-        flow_report);
+        flow_report;
+      Option.iter
+        (fun r ->
+          List.iter
+            (fun (v : Cdna_dom.violation) ->
+              let chain =
+                String.concat "\n"
+                  (List.mapi
+                     (fun i (h : Cdna_dom.hop) ->
+                       Printf.sprintf "%d. %s at %s:%d" (i + 1) h.hop_what
+                         h.hop_file h.hop_line)
+                     v.chain)
+              in
+              Printf.printf "::error file=%s,line=%d::[%s] %s\n" v.file
+                v.line v.rule
+                (github_escape (v.msg ^ "\n" ^ chain)))
+            r.Cdna_dom.violations)
+        dom_report);
   (* Artifacts. *)
   let stats_json =
     let base = Cdna_lint.stats_to_json stats in
-    match (flow_report, base) with
-    | Some r, Sim.Json.Obj fields ->
-        Sim.Json.Obj (fields @ [ ("flow", Cdna_flow.report_to_json r) ])
-    | _, j -> j
+    let add name block j =
+      match (block, j) with
+      | Some b, Sim.Json.Obj fields -> Sim.Json.Obj (fields @ [ (name, b) ])
+      | _, j -> j
+    in
+    base
+    |> add "flow" (Option.map Cdna_flow.report_to_json flow_report)
+    |> add "dom" (Option.map Cdna_dom.report_to_json dom_report)
   in
   (* Gate before writing artifacts: [--stats] may legitimately point at
      the same file as [--gate], refreshing the baseline only after the
@@ -283,11 +339,28 @@ let () =
           (List.length r.Cdna_flow.violations)
           (List.length r.Cdna_flow.suppressed)
           r.Cdna_flow.sanitizer_fns)
-      flow_report
+      flow_report;
+    Option.iter
+      (fun (r : Cdna_dom.report) ->
+        Printf.printf
+          "cdna_dom: %d cmt file(s), %d state item(s) [%s], %d violation(s), \
+           %d suppressed, %d domain-local assertion(s)\n"
+          r.cmt_files r.state_items
+          (String.concat ", "
+             (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) r.classes))
+          (List.length r.violations)
+          (List.length r.suppressed)
+          r.domain_local)
+      dom_report
   end;
   let flow_dirty =
     match flow_report with
     | Some r -> r.Cdna_flow.violations <> []
     | None -> false
   in
-  if diags <> [] || flow_dirty || not gate_ok then exit 1
+  let dom_dirty =
+    match dom_report with
+    | Some r -> r.Cdna_dom.violations <> []
+    | None -> false
+  in
+  if diags <> [] || flow_dirty || dom_dirty || not gate_ok then exit 1

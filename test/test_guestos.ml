@@ -404,7 +404,7 @@ let pv_fixture ?(materialize = false) () =
   Xen.Hypervisor.route_irq hyp irq (fun () ->
       Xen.Event_channel.notify_from_hypervisor nic_chan);
   let netback =
-    Guestos.Netback.create ~hyp ~dom:driver_dom
+    Guestos.Netback.create ~hyp ~gnt:(Xen.Grant_table.create hyp) ~dom:driver_dom
       ~costs:Guestos.Netback.default_costs ~materialize ()
   in
   Guestos.Netback.add_physical netback
@@ -416,7 +416,7 @@ let pv_fixture ?(materialize = false) () =
       ~handler:(fun () -> Guestos.Netback.schedule netback)
   in
   let netfront =
-    Guestos.Netfront.create ~hyp ~dom:guest ~costs:Guestos.Os_costs.default
+    Guestos.Netfront.create ~hyp ~gnt:(Xen.Grant_table.create hyp) ~dom:guest ~costs:Guestos.Os_costs.default
       ~xchan ~mac:(Ethernet.Mac_addr.make 1)
       ~notify_backend:(fun () ->
         Xen.Event_channel.notify chan_to_driver ~from:guest)
@@ -518,7 +518,8 @@ let add_pv_guest fx ~mac_idx =
       ~handler:(fun () -> Guestos.Netback.schedule fx.pv_netback)
   in
   let netfront =
-    Guestos.Netfront.create ~hyp ~dom ~costs:Guestos.Os_costs.default ~xchan
+    Guestos.Netfront.create ~hyp ~gnt:(Xen.Grant_table.create hyp) ~dom
+      ~costs:Guestos.Os_costs.default ~xchan
       ~mac
       ~notify_backend:(fun () ->
         Xen.Event_channel.notify chan_to_driver ~from:dom)
@@ -575,7 +576,8 @@ let test_netfront_pool_exhaustion_backpressure () =
       ~handler:(fun () -> Guestos.Netback.schedule fx.pv_netback)
   in
   let netfront =
-    Guestos.Netfront.create ~hyp ~dom ~costs:Guestos.Os_costs.default ~xchan
+    Guestos.Netfront.create ~hyp ~gnt:(Xen.Grant_table.create hyp) ~dom
+      ~costs:Guestos.Os_costs.default ~xchan
       ~mac:(Ethernet.Mac_addr.make 33)
       ~notify_backend:(fun () ->
         Xen.Event_channel.notify chan_to_driver ~from:dom)

@@ -135,7 +135,8 @@ let test_netback_counters () =
       ~weight:256 ~mem_pages:8192
   in
   let nb =
-    Guestos.Netback.create ~hyp ~dom ~costs:Guestos.Netback.default_costs ()
+    Guestos.Netback.create ~hyp ~gnt:(Xen.Grant_table.create hyp) ~dom
+      ~costs:Guestos.Netback.default_costs ()
   in
   check_int "tx" 0 (Guestos.Netback.tx_forwarded nb);
   check_int "rx" 0 (Guestos.Netback.rx_delivered nb);

@@ -318,6 +318,52 @@ let test_smp_schedule_shard_invariant () =
   check Alcotest.string "smp schedules: shards=4 == shards=1" reference
     (render 4)
 
+(* Dynamic witness for the static domain-safety pass (cdna_dom): the
+   grant-flip ledger is per-testbed (per LP) rather than a process
+   global, so a forced two-domain Xen-software run must stay
+   byte-identical across shard counts while every host accumulates its
+   own flips — exactly the coupling the pre-fix [Grant_table.count]
+   pattern would have broken. *)
+let xen_cfg seed =
+  {
+    (small_cfg seed) with
+    Experiments.Config.system = Experiments.Config.Xen_sw;
+  }
+
+let test_grant_ledger_per_lp () =
+  let run ~shards ~workers =
+    let rep, t =
+      Experiments.Multihost.run ~shards ~workers ~hosts:2 (xen_cfg 4242)
+    in
+    let flips =
+      Array.to_list t.Experiments.Multihost.hosts
+      |> List.map (fun (h : Experiments.Multihost.host) ->
+             Xen.Grant_table.flips
+               h.Experiments.Multihost.tb.Experiments.Testbed.grant_table)
+    in
+    (render_report rep t, flips, t)
+  in
+  let ref_render, ref_flips, _ = run ~shards:1 ~workers:1 in
+  let par_render, par_flips, t = run ~shards:2 ~workers:2 in
+  check Alcotest.string "forced two-domain run byte-identical" ref_render
+    par_render;
+  check (Alcotest.list Alcotest.int) "per-host flip ledgers identical"
+    ref_flips par_flips;
+  List.iter
+    (fun f -> check_bool "host actually flipped pages" true (f > 0))
+    ref_flips;
+  (* Independence: clearing one host's ledger must not touch the
+     other's — with the old global counter this was impossible. *)
+  let gnt i =
+    t.Experiments.Multihost.hosts.(i).Experiments.Multihost.tb
+      .Experiments.Testbed.grant_table
+  in
+  let f1 = Xen.Grant_table.flips (gnt 1) in
+  Xen.Grant_table.reset_flips (gnt 0);
+  check_int "host0 ledger cleared" 0 (Xen.Grant_table.flips (gnt 0));
+  check_int "host1 ledger untouched by host0 reset" f1
+    (Xen.Grant_table.flips (gnt 1))
+
 (* Re-running the same configuration twice in one process is also
    byte-stable (no hidden global state). *)
 let test_multihost_rerun_stable () =
@@ -355,6 +401,8 @@ let suite =
         Alcotest.test_case "sequential vs sharded byte-identical" `Slow
           test_multihost_determinism;
         Alcotest.test_case "rerun stable" `Quick test_multihost_rerun_stable;
+        Alcotest.test_case "grant ledger per LP" `Quick
+          test_grant_ledger_per_lp;
         Alcotest.test_case "smp schedules shard-invariant" `Slow
           test_smp_schedule_shard_invariant;
       ] );

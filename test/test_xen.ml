@@ -202,15 +202,16 @@ let test_grant_flip () =
       ~weight:256 ~mem_pages:4
   in
   let p = List.hd (Xen.Domain.pages a) in
-  Xen.Grant_table.reset_flips ();
-  check_bool "flip ok" true (Xen.Grant_table.flip hyp ~src:a ~dst:b p = Ok ());
+  let gnt = Xen.Grant_table.create hyp in
+  Xen.Grant_table.reset_flips gnt;
+  check_bool "flip ok" true (Xen.Grant_table.flip gnt ~src:a ~dst:b p = Ok ());
   check_bool "owner now b" true (Memory.Phys_mem.owned_by mem p (Xen.Domain.id b));
   check_int "a's accounting" 3 (Xen.Domain.page_count a);
   check_int "b's accounting" 5 (Xen.Domain.page_count b);
-  check_int "counted" 1 (Xen.Grant_table.flips ());
+  check_int "counted" 1 (Xen.Grant_table.flips gnt);
   (* a no longer owns it. *)
   check_bool "not owner anymore" true
-    (Xen.Grant_table.flip hyp ~src:a ~dst:b p = Error `Not_owner)
+    (Xen.Grant_table.flip gnt ~src:a ~dst:b p = Error `Not_owner)
 
 let test_grant_flip_pinned () =
   let _, _, _, mem, hyp = fixture () in
@@ -223,11 +224,40 @@ let test_grant_flip_pinned () =
       ~weight:256 ~mem_pages:4
   in
   let p = List.hd (Xen.Domain.pages a) in
+  let gnt = Xen.Grant_table.create hyp in
   Memory.Phys_mem.get_ref mem p;
   check_bool "pinned refuses" true
-    (Xen.Grant_table.flip hyp ~src:a ~dst:b p = Error `Pinned);
+    (Xen.Grant_table.flip gnt ~src:a ~dst:b p = Error `Pinned);
   Memory.Phys_mem.put_ref mem p;
-  check_bool "unpinned flips" true (Xen.Grant_table.flip hyp ~src:a ~dst:b p = Ok ())
+  check_bool "unpinned flips" true (Xen.Grant_table.flip gnt ~src:a ~dst:b p = Ok ())
+
+(* Regression for the PR-9 decoupling: the flip counter lives in the
+   table, so two independent tables (two hosts / two LPs) issue
+   independent counts and resetting one cannot disturb the other. *)
+let test_grant_tables_independent () =
+  let _, _, _, _, hyp = fixture () in
+  let a =
+    Xen.Hypervisor.create_domain hyp ~name:"a" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:4
+  in
+  let b =
+    Xen.Hypervisor.create_domain hyp ~name:"b" ~kind:Xen.Domain.Guest
+      ~weight:256 ~mem_pages:4
+  in
+  let g1 = Xen.Grant_table.create hyp in
+  let g2 = Xen.Grant_table.create hyp in
+  let flip g ~src ~dst =
+    let p = List.hd (Xen.Domain.pages src) in
+    check_bool "flip ok" true (Xen.Grant_table.flip g ~src ~dst p = Ok ())
+  in
+  flip g1 ~src:a ~dst:b;
+  flip g1 ~src:b ~dst:a;
+  flip g2 ~src:a ~dst:b;
+  check_int "g1 counts its own" 2 (Xen.Grant_table.flips g1);
+  check_int "g2 counts its own" 1 (Xen.Grant_table.flips g2);
+  Xen.Grant_table.reset_flips g1;
+  check_int "g1 reset" 0 (Xen.Grant_table.flips g1);
+  check_int "g2 untouched by g1 reset" 1 (Xen.Grant_table.flips g2)
 
 let suite =
   [
@@ -253,5 +283,7 @@ let suite =
       [
         Alcotest.test_case "flip" `Quick test_grant_flip;
         Alcotest.test_case "pinned" `Quick test_grant_flip_pinned;
+        Alcotest.test_case "independent tables" `Quick
+          test_grant_tables_independent;
       ] );
   ]
