@@ -717,7 +717,7 @@ type saved_ctx = {
    allowed to be lossy (peers retransmit); only an in-flight descriptor
    fetch that has not yet consumed a seqno rolls the cursor back, keeping
    cursor and seqno in lockstep. *)
-let save_context t ~ctx:i =
+let[@cdna.acquires "dp-image"] save_context t ~ctx:i =
   let c = ctx t i in
   if not c.active then invalid_arg "Dp.save_context: context not active";
   if c.faulted then invalid_arg "Dp.save_context: context faulted";
@@ -784,7 +784,7 @@ let save_context t ~ctx:i =
    restore, not driver doorbells — the doorbell paths reject producer
    rewinds by design), then the engines are kicked to resume exactly
    where the save left off. *)
-let restore_context t ~ctx:i s =
+let[@cdna.releases "dp-image@1"] restore_context t ~ctx:i s =
   let c = ctx t i in
   if c.active || c.faulted then
     invalid_arg "Dp.restore_context: slot not reset";

@@ -312,13 +312,7 @@ let rec state_kind aliases env fuel ty =
 (* ------------------------------------------------------------------ *)
 
 let loc_line = Cdna_flow.loc_line
-
-let hop what (loc : Location.t) =
-  {
-    hop_what = what;
-    hop_file = Cdna_flow.loc_file loc;
-    hop_line = loc_line loc;
-  }
+let hop = Chain.hop
 
 (* Peel the [let a = .. in let b = .. in fun x -> ..] spine of a
    toplevel closure: returns the captured bindings and whether the spine
@@ -540,38 +534,14 @@ and collect_module_binding prog ~file ~layer (mb : Typedtree.module_binding) =
     | None -> ( match mb.mb_name.txt with Some n -> n | None -> "_")
   in
   let rec of_mexpr (me : Typedtree.module_expr) =
-    match me.mod_desc with
-    | Typedtree.Tmod_ident (p, _) ->
-        prog.aliases <-
-          SMap.add name
-            (String.concat "."
-               (List.map Cdna_flow.strip_wrap
-                  (Cdna_flow.split_on_dot (Path.name p))))
-            prog.aliases
-    | Typedtree.Tmod_apply (f, _, _) -> (
-        let rec functor_path (me : Typedtree.module_expr) =
-          match me.mod_desc with
-          | Typedtree.Tmod_ident (p, _) -> Some (Path.name p)
-          | Typedtree.Tmod_apply (f, _, _) -> functor_path f
-          | Typedtree.Tmod_constraint (m, _, _, _) -> functor_path m
-          | _ -> None
-        in
-        match functor_path f with
-        | Some p -> (
-            match
-              List.rev
-                (List.map Cdna_flow.strip_wrap (Cdna_flow.split_on_dot p))
-            with
-            | _make :: parent ->
-                prog.aliases <-
-                  SMap.add name (String.concat "." (List.rev parent))
-                    prog.aliases
-            | [] -> ())
-        | None -> ())
-    | Typedtree.Tmod_structure s ->
-        collect_module prog ~modname:name ~file ~layer s
-    | Typedtree.Tmod_constraint (m, _, _, _) -> of_mexpr m
-    | _ -> ()
+    match Chain.module_alias_target me with
+    | Some target -> prog.aliases <- SMap.add name target prog.aliases
+    | None -> (
+        match me.mod_desc with
+        | Typedtree.Tmod_structure s ->
+            collect_module prog ~modname:name ~file ~layer s
+        | Typedtree.Tmod_constraint (m, _, _, _) -> of_mexpr m
+        | _ -> ())
   in
   of_mexpr mb.mb_expr
 
@@ -1061,14 +1031,6 @@ let analyze root =
 (* ------------------------------------------------------------------ *)
 
 let report_to_json r =
-  let rule_counts vs =
-    List.fold_left
-      (fun acc (v : violation) ->
-        let n = try List.assoc v.rule acc with Not_found -> 0 in
-        (v.rule, n + 1) :: List.remove_assoc v.rule acc)
-      [] vs
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
   Sim.Json.Obj
     [
       ("cmt_files", Sim.Json.Int r.cmt_files);
@@ -1078,11 +1040,7 @@ let report_to_json r =
         Sim.Json.Obj (List.map (fun (k, n) -> (k, Sim.Json.Int n)) r.classes)
       );
       ("violations", Sim.Json.Int (List.length r.violations));
-      ( "rules",
-        Sim.Json.Obj
-          (List.map
-             (fun (k, n) -> (k, Sim.Json.Int n))
-             (rule_counts r.violations)) );
+      ("rules", Chain.rule_counts_json r.violations);
       ("suppressions", Sim.Json.Int (List.length r.suppressed));
       ("domain_local", Sim.Json.Int r.domain_local);
       ("domain_shared", Sim.Json.Int r.domain_shared);

@@ -43,18 +43,18 @@
    local closure analyzed at its binding site assumes clean parameters.
    Both limits are one-sided: they can miss flows, never invent them. *)
 
-module SSet = Set.Make (String)
-module SMap = Map.Make (String)
-module ISet = Set.Make (Int)
-module IdentMap = Map.Make (Ident)
+module SSet = Chain.SSet
+module SMap = Chain.SMap
+module ISet = Chain.ISet
+module IdentMap = Chain.IdentMap
 
 (* ------------------------------------------------------------------ *)
-(* Diagnostics                                                         *)
+(* Diagnostics (shared shapes re-exported from [Chain])                *)
 (* ------------------------------------------------------------------ *)
 
-type hop = { hop_what : string; hop_file : string; hop_line : int }
+type hop = Chain.hop = { hop_what : string; hop_file : string; hop_line : int }
 
-type violation = {
+type violation = Chain.violation = {
   rule : string;
   file : string;
   line : int;
@@ -76,27 +76,8 @@ let rule_t2 = "T2-desc-construct"
 let rule_a6 = "A6-transitive-alloc"
 let rule_p3 = "P3-priv-reachability"
 
-let violation_compare a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = String.compare a.rule b.rule in
-      if c <> 0 then c else String.compare a.msg b.msg
-
-let violation_to_string v =
-  let b = Buffer.create 128 in
-  Buffer.add_string b
-    (Printf.sprintf "%s:%d: [%s] %s" v.file v.line v.rule v.msg);
-  List.iteri
-    (fun i h ->
-      Buffer.add_string b
-        (Printf.sprintf "\n    %d. %s at %s:%d" (i + 1) h.hop_what h.hop_file
-           h.hop_line))
-    v.chain;
-  Buffer.contents b
+let violation_compare = Chain.violation_compare
+let violation_to_string = Chain.violation_to_string
 
 (* ------------------------------------------------------------------ *)
 (* Source / sink / sanitizer contract                                  *)
@@ -198,74 +179,20 @@ let alloc_operators = SSet.of_list [ "^"; "@"; "^^" ]
 (* Name canonicalization                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* "Nic__Dp" -> "Dp": strip the dune wrapping prefix. *)
-let strip_wrap comp =
-  let n = String.length comp in
-  let rec scan i =
-    if i + 1 >= n then comp
-    else if comp.[i] = '_' && comp.[i + 1] = '_' then
-      String.sub comp (i + 2) (n - i - 2)
-    else scan (i + 1)
-  in
-  if n = 0 then comp else scan 0
-
-let split_on_dot s = String.split_on_char '.' s
-
-(* Module aliases and functor instances harvested during collection:
-   "H" -> "Hashtbl", "SSet" -> "Stdlib.Set". *)
-let expand_alias aliases comps =
-  let rec go fuel comps =
-    if fuel = 0 then comps
-    else
-      match comps with
-      | first :: rest -> (
-          match SMap.find_opt first aliases with
-          | Some target when target <> first ->
-              go (fuel - 1) (split_on_dot target @ rest)
-          | _ -> comps)
-      | [] -> comps
-  in
-  go 5 comps
-
-(* Canonical identifier: alias-expanded, wrap-stripped, reduced to its
-   last two components so [Memory.Phys_mem.read], [Env.Phys_mem.read]
-   and [Stdlib.Hashtbl.fold] normalize to stable keys. *)
-let canon_of aliases name =
-  let comps = split_on_dot name |> List.map strip_wrap in
-  let comps = if List.length comps > 1 then expand_alias aliases comps else comps in
-  let comps = List.map strip_wrap comps in
-  match List.rev comps with
-  | [] -> ""
-  | [ x ] -> x
-  | x :: m :: _ -> m ^ "." ^ x
-
-let last_comp name =
-  match List.rev (split_on_dot name) with [] -> "" | x :: _ -> x
+let strip_wrap = Chain.strip_wrap
+let split_on_dot = Chain.split_on_dot
+let expand_alias = Chain.expand_alias
+let canon_of = Chain.canon_of
+let last_comp = Chain.last_comp
 
 (* ------------------------------------------------------------------ *)
 (* Attribute helpers (compiler-libs Parsetree)                         *)
 (* ------------------------------------------------------------------ *)
 
-let attr_name (a : Parsetree.attribute) = a.Parsetree.attr_name.Location.txt
-
-let attr_reason (a : Parsetree.attribute) =
-  match a.Parsetree.attr_payload with
-  | Parsetree.PStr
-      [
-        {
-          pstr_desc =
-            Pstr_eval
-              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-          _;
-        };
-      ] ->
-      Some s
-  | _ -> None
-
-let find_attr name attrs =
-  List.find_opt (fun a -> attr_name a = name) attrs
-
-let has_attr name attrs = find_attr name attrs <> None
+let attr_name = Chain.attr_name
+let attr_reason = Chain.attr_reason
+let find_attr = Chain.find_attr
+let has_attr = Chain.has_attr
 
 (* ------------------------------------------------------------------ *)
 (* Program representation                                              *)
@@ -379,31 +306,10 @@ let summary_image s =
 (* Location helpers                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let loc_file (loc : Location.t) = loc.loc_start.Lexing.pos_fname
-let loc_line (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
-
-let normalize_path p = String.map (fun c -> if c = '\\' then '/' else c) p
-
-let path_has_dir path dir =
-  let path = normalize_path path in
-  let needle = dir ^ "/" in
-  let nl = String.length needle and pl = String.length path in
-  let rec scan i =
-    if i + nl > pl then false
-    else if String.sub path i nl = needle then i = 0 || path.[i - 1] = '/'
-    else scan (i + 1)
-  in
-  scan 0
-
-let layer_of_file file =
-  if path_has_dir file "lib/nic" then "nic"
-  else if path_has_dir file "lib/guestos" then "guestos"
-  else if path_has_dir file "lib/xen" then "xen"
-  else if path_has_dir file "lib/host" then "host"
-  else if path_has_dir file "lib/memory" then "memory"
-  else if path_has_dir file "lib/bus" then "bus"
-  else if path_has_dir file "lib/core" then "core"
-  else ""
+let loc_file = Chain.loc_file
+let loc_line = Chain.loc_line
+let path_has_dir = Chain.path_has_dir
+let layer_of_file = Chain.layer_of_file
 
 (* ------------------------------------------------------------------ *)
 (* Collection (pass 1): functions, aliases, module attributes          *)
@@ -501,35 +407,14 @@ and collect_module_binding prog ~file ~layer ~privileged
     | None -> ( match mb.mb_name.txt with Some n -> n | None -> "_")
   in
   let rec of_mexpr (me : Typedtree.module_expr) =
-    match me.mod_desc with
-    | Typedtree.Tmod_ident (p, _) ->
-        prog.aliases <-
-          SMap.add name
-            (String.concat "." (List.map strip_wrap (split_on_dot (Path.name p))))
-            prog.aliases
-    | Typedtree.Tmod_apply (f, _, _) -> (
-        (* [module M = Set.Make (...)]: resolve M.* against the functor's
-           parent module (Set), which is where the API semantics live. *)
-        let rec functor_path (me : Typedtree.module_expr) =
-          match me.mod_desc with
-          | Typedtree.Tmod_ident (p, _) -> Some (Path.name p)
-          | Typedtree.Tmod_apply (f, _, _) -> functor_path f
-          | Typedtree.Tmod_constraint (m, _, _, _) -> functor_path m
-          | _ -> None
-        in
-        match functor_path f with
-        | Some p -> (
-            match List.rev (List.map strip_wrap (split_on_dot p)) with
-            | _make :: parent ->
-                prog.aliases <-
-                  SMap.add name (String.concat "." (List.rev parent))
-                    prog.aliases
-            | [] -> ())
-        | None -> ())
-    | Typedtree.Tmod_structure s ->
-        collect_module prog ~modname:name ~file ~layer ~privileged s
-    | Typedtree.Tmod_constraint (m, _, _, _) -> of_mexpr m
-    | _ -> ()
+    match Chain.module_alias_target me with
+    | Some target -> prog.aliases <- SMap.add name target prog.aliases
+    | None -> (
+        match me.mod_desc with
+        | Typedtree.Tmod_structure s ->
+            collect_module prog ~modname:name ~file ~layer ~privileged s
+        | Typedtree.Tmod_constraint (m, _, _, _) -> of_mexpr m
+        | _ -> ())
   in
   of_mexpr mb.mb_expr
 
@@ -621,7 +506,7 @@ type ctx = {
   flows : flow list ref;
 }
 
-let hop what loc = { hop_what = what; hop_file = loc_file loc; hop_line = loc_line loc }
+let hop = Chain.hop
 
 let fn_of_name ctx name =
   match SMap.find_opt name ctx.prog.fns with
@@ -1407,12 +1292,7 @@ let check_priv_reachability prog viols =
 
 exception Flow_error of string
 
-let rec collect_cmts acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.fold_left (fun acc e -> collect_cmts acc (Filename.concat path e)) acc
-  else if Filename.check_suffix path ".cmt" then path :: acc
-  else acc
+let collect_cmts = Chain.collect_cmts
 
 let load_program root =
   if not (Sys.file_exists root) then
@@ -1505,47 +1385,16 @@ let analyze root =
 (* JSON export                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let hop_to_json h =
-  Sim.Json.Obj
-    [
-      ("what", Sim.Json.String h.hop_what);
-      ("file", Sim.Json.String h.hop_file);
-      ("line", Sim.Json.Int h.hop_line);
-    ]
-
-let violation_to_json v =
-  Sim.Json.Obj
-    ([
-       ("file", Sim.Json.String v.file);
-       ("line", Sim.Json.Int v.line);
-       ("rule", Sim.Json.String v.rule);
-       ("msg", Sim.Json.String v.msg);
-       ("chain", Sim.Json.List (List.map hop_to_json v.chain));
-     ]
-    @
-    match v.suppress with
-    | Some r -> [ ("suppressed", Sim.Json.String r) ]
-    | None -> [])
+let hop_to_json = Chain.hop_to_json
+let violation_to_json = Chain.violation_to_json
 
 let report_to_json r =
-  let rule_counts vs =
-    List.fold_left
-      (fun acc v ->
-        let n = try List.assoc v.rule acc with Not_found -> 0 in
-        (v.rule, n + 1) :: List.remove_assoc v.rule acc)
-      [] vs
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
   Sim.Json.Obj
     [
       ("cmt_files", Sim.Json.Int r.cmt_files);
       ("functions", Sim.Json.Int r.functions);
       ("violations", Sim.Json.Int (List.length r.violations));
-      ( "rules",
-        Sim.Json.Obj
-          (List.map
-             (fun (k, n) -> (k, Sim.Json.Int n))
-             (rule_counts r.violations)) );
+      ("rules", Chain.rule_counts_json r.violations);
       ("suppressions", Sim.Json.Int (List.length r.suppressed));
       ("sanitizer_fns", Sim.Json.Int r.sanitizer_fns);
     ]

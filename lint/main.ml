@@ -1,24 +1,34 @@
-(* cdna_lint / cdna_flow / cdna_dom CLI.
+(* cdna_lint / cdna_flow / cdna_dom / cdna_proto CLI.
 
    Usage:
      main.exe [--json FILE] [--stats FILE] [--quiet] [--format text|github]
-              [--flow CMT_DIR] [--dom CMT_DIR] [--gate BASELINE] [DIR|FILE]...
+              [--flow CMT_DIR] [--dom CMT_DIR] [--proto CMT_DIR]
+              [--only RULE] [--gate BASELINE] [DIR|FILE]...
 
    Walks every [.ml] under the given roots (default: [lib]) through the
    parsetree checker; with [--flow] additionally runs the interprocedural
-   typedtree verifier over the compiled [.cmt] tree rooted at CMT_DIR, and
-   with [--dom] the domain-safety / race detector over the same tree. One
+   typedtree verifier over the compiled [.cmt] tree rooted at CMT_DIR,
+   with [--dom] the domain-safety / race detector over the same tree, and
+   with [--proto] the resource-protocol (typestate) verifier. One
    invocation runs all requested passes and exits with a single combined
    code.
 
    Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
+   [--only RULE] restricts the rendered report and the exit code to
+   violations of RULE — either a full rule name ("PR1-leak-on-path") or
+   its prefix up to the first dash ("PR1", "T1"). Stats artifacts stay
+   complete so baselines never depend on the filter.
+
    [--format github] emits `::error file=...,line=...::msg` annotations
    for CI logs instead of the human-readable report.
 
    [--json] writes the parsetree diagnostics and [--stats] the combined
-   run summary (rules hit, files scanned, suppression counts, flow
-   report) as deterministic Sim.Json documents so CI can archive them.
+   run summary (rules hit, files scanned, suppression counts, per-pass
+   reports) as deterministic Sim.Json documents so CI can archive them.
+   The stats document also carries a [timing] block (per-pass wall time
+   in milliseconds and input count); it is diagnostic only and is never
+   consulted by the drift gate.
 
    [--gate BASELINE] is the suppression-drift gate: after computing the
    current stats it fails (exit 1) if the unsuppressed-violation count or
@@ -26,8 +36,8 @@
 
 let usage =
   "usage: cdna_lint [--json FILE] [--stats FILE] [--quiet] [--format \
-   text|github] [--flow CMT_DIR] [--dom CMT_DIR] [--gate BASELINE] \
-   [PATH]..."
+   text|github] [--flow CMT_DIR] [--dom CMT_DIR] [--proto CMT_DIR] \
+   [--only RULE] [--gate BASELINE] [PATH]..."
 
 let usage_error msg =
   prerr_endline ("cdna_lint: " ^ msg);
@@ -135,6 +145,16 @@ let run_gate ~baseline_path current =
       ("dom domain_local annotations",
        json_int baseline [ "dom"; "domain_local" ],
        json_int current [ "dom"; "domain_local" ]);
+      ("proto violations", json_int baseline [ "proto"; "violations" ],
+       json_int current [ "proto"; "violations" ]);
+      ("proto suppressions", json_int baseline [ "proto"; "suppressions" ],
+       json_int current [ "proto"; "suppressions" ]);
+      ("proto acquire annotations",
+       json_int baseline [ "proto"; "acquire_annots" ],
+       json_int current [ "proto"; "acquire_annots" ]);
+      ("proto release annotations",
+       json_int baseline [ "proto"; "release_annots" ],
+       json_int current [ "proto"; "release_annots" ]);
     ]
   in
   let drifted =
@@ -163,6 +183,8 @@ let () =
   let format = ref `Text in
   let flow_root = ref None in
   let dom_root = ref None in
+  let proto_root = ref None in
+  let only = ref None in
   let gate = ref None in
   let roots = ref [] in
   let rec parse_args = function
@@ -179,6 +201,12 @@ let () =
     | "--dom" :: d :: rest ->
         dom_root := Some d;
         parse_args rest
+    | "--proto" :: d :: rest ->
+        proto_root := Some d;
+        parse_args rest
+    | "--only" :: r :: rest ->
+        only := Some r;
+        parse_args rest
     | "--gate" :: f :: rest ->
         gate := Some f;
         parse_args rest
@@ -194,8 +222,8 @@ let () =
     | ("--help" | "-h") :: _ ->
         print_endline usage;
         exit 0
-    | [ ("--json" | "--stats" | "--flow" | "--dom" | "--gate" | "--format") ]
-      ->
+    | [ ("--json" | "--stats" | "--flow" | "--dom" | "--proto" | "--only"
+        | "--gate" | "--format") ] ->
         usage_error "missing option argument"
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
         usage_error ("unknown option " ^ arg)
@@ -215,13 +243,29 @@ let () =
     |> List.sort_uniq String.compare
     |> List.map (fun p -> (p, read_file p))
   in
-  let diags, stats = Cdna_lint.run files in
+  (* Per-pass wall time: diagnostic only (stats [timing] block and the
+     summary line), deliberately outside the drift gate. *)
+  let timings = ref [] in
+  let timed name count f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let ms = int_of_float (ceil ((Unix.gettimeofday () -. t0) *. 1000.)) in
+    timings := !timings @ [ (name, ms, count r) ];
+    r
+  in
+  let diags, stats =
+    timed "lint" (fun _ -> List.length files) (fun () -> Cdna_lint.run files)
+  in
   let flow_report =
     match !flow_root with
     | None -> None
     | Some d -> (
-        match Cdna_flow.analyze d with
-        | r -> Some r
+        match
+          timed "flow"
+            (fun r -> match r with Some r -> r.Cdna_flow.cmt_files | None -> 0)
+            (fun () -> Some (Cdna_flow.analyze d))
+        with
+        | r -> r
         | exception Cdna_flow.Flow_error msg ->
             prerr_endline ("cdna_flow: " ^ msg);
             exit 2)
@@ -230,28 +274,58 @@ let () =
     match !dom_root with
     | None -> None
     | Some d -> (
-        match Cdna_dom.analyze d with
-        | r -> Some r
+        match
+          timed "dom"
+            (fun r -> match r with Some r -> r.Cdna_dom.cmt_files | None -> 0)
+            (fun () -> Some (Cdna_dom.analyze d))
+        with
+        | r -> r
         | exception Cdna_dom.Dom_error msg ->
             prerr_endline ("cdna_dom: " ^ msg);
             exit 2)
   in
+  let proto_report =
+    match !proto_root with
+    | None -> None
+    | Some d ->
+        Some
+          (timed "proto"
+             (fun r -> r.Cdna_proto.cmt_files)
+             (fun () -> Cdna_proto.analyze d))
+  in
+  (* [--only]: the filtered views drive rendering and the exit code; the
+     stats artifact below is always computed from the full reports. *)
+  let only = !only in
+  let shown_diags =
+    List.filter (fun d -> Chain.rule_matches ~only d.Cdna_lint.rule) diags
+  in
+  let shown_pass vs =
+    List.filter (fun v -> Chain.rule_matches ~only v.Chain.rule) vs
+  in
+  let shown_flow =
+    match flow_report with
+    | Some r -> shown_pass r.Cdna_flow.violations
+    | None -> []
+  in
+  let shown_dom =
+    match dom_report with
+    | Some r -> shown_pass r.Cdna_dom.violations
+    | None -> []
+  in
+  let shown_proto =
+    match proto_report with
+    | Some r -> shown_pass r.Cdna_proto.violations
+    | None -> []
+  in
   (* Reports. *)
   (match !format with
   | `Text ->
-      List.iter (fun d -> print_endline (Cdna_lint.diag_to_string d)) diags;
-      Option.iter
-        (fun r ->
-          List.iter
-            (fun v -> print_endline (Cdna_flow.violation_to_string v))
-            r.Cdna_flow.violations)
-        flow_report;
-      Option.iter
-        (fun r ->
-          List.iter
-            (fun v -> print_endline (Cdna_dom.violation_to_string v))
-            r.Cdna_dom.violations)
-        dom_report
+      List.iter
+        (fun d -> print_endline (Cdna_lint.diag_to_string d))
+        shown_diags;
+      List.iter
+        (fun v -> print_endline (Chain.violation_to_string v))
+        (shown_flow @ shown_dom @ shown_proto)
   | `Github ->
       List.iter
         (fun d ->
@@ -259,42 +333,21 @@ let () =
             d.Cdna_lint.file d.Cdna_lint.line d.Cdna_lint.col
             d.Cdna_lint.rule
             (github_escape d.Cdna_lint.msg))
-        diags;
-      Option.iter
-        (fun r ->
-          List.iter
-            (fun v ->
-              let chain =
-                String.concat "\n"
-                  (List.mapi
-                     (fun i h ->
-                       Printf.sprintf "%d. %s at %s:%d" (i + 1)
-                         h.Cdna_flow.hop_what h.Cdna_flow.hop_file
-                         h.Cdna_flow.hop_line)
-                     v.Cdna_flow.chain)
-              in
-              Printf.printf "::error file=%s,line=%d::[%s] %s\n"
-                v.Cdna_flow.file v.Cdna_flow.line v.Cdna_flow.rule
-                (github_escape (v.Cdna_flow.msg ^ "\n" ^ chain)))
-            r.Cdna_flow.violations)
-        flow_report;
-      Option.iter
-        (fun r ->
-          List.iter
-            (fun (v : Cdna_dom.violation) ->
-              let chain =
-                String.concat "\n"
-                  (List.mapi
-                     (fun i (h : Cdna_dom.hop) ->
-                       Printf.sprintf "%d. %s at %s:%d" (i + 1) h.hop_what
-                         h.hop_file h.hop_line)
-                     v.chain)
-              in
-              Printf.printf "::error file=%s,line=%d::[%s] %s\n" v.file
-                v.line v.rule
-                (github_escape (v.msg ^ "\n" ^ chain)))
-            r.Cdna_dom.violations)
-        dom_report);
+        shown_diags;
+      List.iter
+        (fun (v : Chain.violation) ->
+          let chain =
+            String.concat "\n"
+              (List.mapi
+                 (fun i (h : Chain.hop) ->
+                   Printf.sprintf "%d. %s at %s:%d" (i + 1) h.hop_what
+                     h.hop_file h.hop_line)
+                 v.chain)
+          in
+          Printf.printf "::error file=%s,line=%d::[%s] %s\n" v.file v.line
+            v.rule
+            (github_escape (v.msg ^ "\n" ^ chain)))
+        (shown_flow @ shown_dom @ shown_proto));
   (* Artifacts. *)
   let stats_json =
     let base = Cdna_lint.stats_to_json stats in
@@ -306,6 +359,17 @@ let () =
     base
     |> add "flow" (Option.map Cdna_flow.report_to_json flow_report)
     |> add "dom" (Option.map Cdna_dom.report_to_json dom_report)
+    |> add "proto" (Option.map Cdna_proto.report_to_json proto_report)
+    |> add "timing"
+         (Some
+            (Sim.Json.Obj
+               (List.map
+                  (fun (name, ms, n) ->
+                    ( name,
+                      Sim.Json.Obj
+                        [ ("ms", Sim.Json.Int ms); ("inputs", Sim.Json.Int n) ]
+                    ))
+                  !timings)))
   in
   (* Gate before writing artifacts: [--stats] may legitimately point at
      the same file as [--gate], refreshing the baseline only after the
@@ -351,16 +415,23 @@ let () =
           (List.length r.violations)
           (List.length r.suppressed)
           r.domain_local)
-      dom_report
+      dom_report;
+    Option.iter
+      (fun (r : Cdna_proto.report) ->
+        Printf.printf
+          "cdna_proto: %d cmt file(s), %d function(s), %d protocol(s), %d \
+           violation(s), %d suppressed\n"
+          r.cmt_files r.functions r.protocols
+          (List.length r.violations)
+          (List.length r.suppressed))
+      proto_report;
+    Printf.printf "cdna timing: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (name, ms, n) -> Printf.sprintf "%s %dms/%d" name ms n)
+            !timings))
   end;
-  let flow_dirty =
-    match flow_report with
-    | Some r -> r.Cdna_flow.violations <> []
-    | None -> false
-  in
-  let dom_dirty =
-    match dom_report with
-    | Some r -> r.Cdna_dom.violations <> []
-    | None -> false
-  in
-  if diags <> [] || flow_dirty || dom_dirty || not gate_ok then exit 1
+  if
+    shown_diags <> [] || shown_flow <> [] || shown_dom <> []
+    || shown_proto <> [] || not gate_ok
+  then exit 1

@@ -1,0 +1,9 @@
+(* PR1 via the annotation-declared protocol: the window opened here is
+   never closed. *)
+
+let[@cdna.acquires "dma-window"] open_window slot = slot land 0xff
+let[@cdna.releases "dma-window"] close_window w = ignore (w : int)
+
+let unbalanced () =
+  let w = open_window 3 in
+  ignore w

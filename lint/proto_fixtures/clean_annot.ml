@@ -1,0 +1,10 @@
+(* Clean: a protocol declared by annotation rather than the seeded
+   table — [open_window] acquires "dma-window" (result style),
+   [close_window] releases it, and the pairing is balanced. *)
+
+let[@cdna.acquires "dma-window"] open_window slot = slot land 0xff
+let[@cdna.releases "dma-window"] close_window w = ignore (w : int)
+
+let balanced () =
+  let w = open_window 3 in
+  close_window w

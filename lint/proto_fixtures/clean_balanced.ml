@@ -1,0 +1,13 @@
+(* Clean: lock/unlock balanced on a parameter-rooted mutex. Parameter
+   acquisitions are never local leaks — they net out in the function
+   summary instead. *)
+
+let run_locked m thunk =
+  Proto_env.Mutex.lock m;
+  let r = thunk () in
+  Proto_env.Mutex.unlock m;
+  r
+
+let caller () =
+  let m = Proto_env.Mutex.create () in
+  run_locked m (fun () -> 0)

@@ -1,0 +1,11 @@
+(* Clean: both mappings escape into structures with their own
+   lifecycle (a hashtable, a ref cell) — ownership transfers, so no
+   leak is reported at this function's exit. *)
+
+let stash_mapping tbl r =
+  let m = Proto_env.Mmio.map r in
+  Hashtbl.replace tbl 0 m
+
+let publish_mapping cell r =
+  let m = Proto_env.Mmio.map r in
+  cell := Some m

@@ -1,0 +1,13 @@
+(* Clean: the exception handler revokes the mapping before reraising,
+   and the normal path revokes it after the try — no path leaks. *)
+
+let read_with_handler r =
+  let m = Proto_env.Mmio.map r in
+  let v =
+    try Proto_env.Mmio.read32 m ~offset:4
+    with Proto_env.Fault _ ->
+      Proto_env.Mmio.revoke m;
+      raise Exit
+  in
+  Proto_env.Mmio.revoke m;
+  v

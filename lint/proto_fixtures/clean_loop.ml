@@ -1,0 +1,8 @@
+(* Clean: reserve/release balanced inside a loop body on a locally
+   created pool; the loop join must not invent a held state. *)
+
+let churn () =
+  let b = Proto_env.Pkt_buf.create () in
+  for _ = 0 to 7 do
+    if Proto_env.Pkt_buf.try_reserve b then Proto_env.Pkt_buf.release b
+  done

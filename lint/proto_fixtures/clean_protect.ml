@@ -1,0 +1,11 @@
+(* Clean: the mapping is held across a raising region, but a
+   [Fun.protect ~finally] revokes it on every exit path. *)
+
+let read_protected r =
+  let m = Proto_env.Mmio.map r in
+  Fun.protect
+    ~finally:(fun () -> Proto_env.Mmio.revoke m)
+    (fun () ->
+      let v = Proto_env.Mmio.read32 m ~offset:0 in
+      if v < 0 then failwith "bad register";
+      v)

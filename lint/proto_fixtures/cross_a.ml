@@ -1,0 +1,4 @@
+(* Hop 1 of the cross-module leak: acquires a mapping and returns it,
+   so the acquisition appears in this function's summary. *)
+
+let make_mapping r = Proto_env.Mmio.map r

@@ -1,0 +1,4 @@
+(* Hop 2 of the cross-module leak: forwards the acquired mapping
+   through another module boundary. *)
+
+let wrap r = Cross_a.make_mapping r

@@ -1,0 +1,7 @@
+(* Hop 3 of the cross-module leak: the mapping acquired two modules
+   away is consumed here and never revoked (PR1, with a chain spanning
+   cross_a.ml -> cross_b.ml -> cross_c.ml). *)
+
+let leak_through r =
+  let m = Cross_b.wrap r in
+  ignore (Proto_env.Mmio.read32 m ~offset:0)

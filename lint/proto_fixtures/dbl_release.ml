@@ -1,0 +1,7 @@
+(* PR2: the reserved slot is released twice on the success branch. *)
+
+let double_release () =
+  let b = Proto_env.Pkt_buf.create () in
+  if Proto_env.Pkt_buf.try_reserve b then (
+    Proto_env.Pkt_buf.release b;
+    Proto_env.Pkt_buf.release b)

@@ -1,0 +1,8 @@
+(* PR2 through an alias: the second revoke reaches the same mapping
+   via a different binding. *)
+
+let revoke_twice r =
+  let m = Proto_env.Mmio.map r in
+  let handle = m in
+  Proto_env.Mmio.revoke handle;
+  Proto_env.Mmio.revoke m

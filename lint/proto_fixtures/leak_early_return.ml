@@ -1,0 +1,10 @@
+(* PR1 on an early-return path: one match arm releases the mapping,
+   the other returns without revoking it. *)
+
+let read_first r =
+  let m = Proto_env.Mmio.map r in
+  match Proto_env.Mmio.read32 m ~offset:0 with
+  | 0 -> None
+  | v ->
+      Proto_env.Mmio.revoke m;
+      Some v

@@ -1,0 +1,11 @@
+(* PR1 for an effect-style acquire on a locally created subject: the
+   lock is taken on a fresh mutex and never released. The iteration
+   lambda runs inline (List.iter is a known combinator), so capturing
+   the mutex does not count as an escape. *)
+
+let sum_locked xs =
+  let m = Proto_env.Mutex.create () in
+  Proto_env.Mutex.lock m;
+  let total = ref 0 in
+  List.iter (fun x -> total := !total + x) xs;
+  !total

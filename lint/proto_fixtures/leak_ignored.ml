@@ -1,0 +1,7 @@
+(* PR1: an effect-style conditional acquire whose result is ignored.
+   Ignoring [try_reserve] means no path ever releases the slot. *)
+
+let leak_reserved () =
+  let b = Proto_env.Pkt_buf.create () in
+  ignore (Proto_env.Pkt_buf.try_reserve b);
+  0

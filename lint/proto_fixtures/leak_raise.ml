@@ -1,0 +1,8 @@
+(* PR1 on a raising path: the grant is revoked on the normal return,
+   but the [failwith] guard exits with the grant still installed. *)
+
+let grant_checked pfn =
+  let t = Proto_env.Iommu.create () in
+  Proto_env.Iommu.grant t pfn;
+  if pfn < 0 then failwith "negative pfn";
+  Proto_env.Iommu.revoke t pfn

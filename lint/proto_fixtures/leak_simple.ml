@@ -1,0 +1,6 @@
+(* PR1: a handle-style acquire ([Mmio.map] returns the resource) that
+   is used but never revoked before the normal return. *)
+
+let leak_mapping r =
+  let m = Proto_env.Mmio.map r in
+  Proto_env.Mmio.read32 m ~offset:0

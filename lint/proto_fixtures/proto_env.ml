@@ -1,0 +1,53 @@
+(* Self-contained stand-ins for the protocol surface cdna_proto models.
+
+   The analyzer canonicalizes identifiers to their last two path
+   components, so [Proto_env.Iommu.grant] matches the seeded pair
+   [Iommu.grant]->[Iommu.revoke] exactly as the real [Xen.Iommu] does —
+   fixtures exercise the typestate analysis without linking the
+   simulator. Bodies are inert; they exist only so fixtures typecheck
+   (and so the acquire stand-ins have the right result types: bool for
+   [try_reserve], a handle for [map]). *)
+
+exception Fault of int
+
+module Iommu = struct
+  type t = { mutable grants : int }
+
+  let create () = { grants = 0 }
+  let grant t pfn = t.grants <- t.grants + pfn
+  let revoke t pfn = t.grants <- t.grants - pfn
+  let revoke_context t ctx = t.grants <- t.grants - ctx
+end
+
+module Mmio = struct
+  type region = int
+  type t = { mutable revoked : bool }
+
+  let region (n : int) : region = n
+  let map (_ : region) = { revoked = false }
+  let revoke m = m.revoked <- true
+  let read32 m ~offset = if m.revoked then raise (Fault offset) else 0
+  let write32 m ~offset (_ : int) = if m.revoked then raise (Fault offset)
+end
+
+module Pkt_buf = struct
+  type t = { mutable used : int }
+
+  let create () = { used = 0 }
+
+  let try_reserve b =
+    if b.used < 8 then (
+      b.used <- b.used + 1;
+      true)
+    else false
+
+  let release b = b.used <- b.used - 1
+end
+
+module Mutex = struct
+  type t = { mutable held : bool }
+
+  let create () = { held = false }
+  let lock m = m.held <- true
+  let unlock m = m.held <- false
+end

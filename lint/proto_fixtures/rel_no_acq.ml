@@ -1,0 +1,6 @@
+(* PR4: revoking a grant on a freshly created table that provably never
+   granted it. *)
+
+let revoke_fresh pfn =
+  let t = Proto_env.Iommu.create () in
+  Proto_env.Iommu.revoke t pfn

@@ -1,0 +1,7 @@
+(* A real PR1, silenced by [@cdna.proto_ok] with a mandatory reason —
+   exercises the suppression channel counted by the stats gate. *)
+
+let[@cdna.proto_ok "fixture: intentional leak kept to exercise the \
+                    suppression channel"] leak_but_waived r =
+  let m = Proto_env.Mmio.map r in
+  ignore m

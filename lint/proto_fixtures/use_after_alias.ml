@@ -1,0 +1,8 @@
+(* PR3 through an alias: released under one name, used under the
+   original binding. *)
+
+let read_after_alias_revoke r =
+  let m = Proto_env.Mmio.map r in
+  let handle = m in
+  Proto_env.Mmio.revoke handle;
+  ignore (Proto_env.Mmio.read32 m ~offset:4)

@@ -1,0 +1,7 @@
+(* PR3: a declared use ([Mmio.write32]) on a mapping after its revoke —
+   the static analogue of the runtime [Fault] the bus raises. *)
+
+let write_after_revoke r =
+  let m = Proto_env.Mmio.map r in
+  Proto_env.Mmio.revoke m;
+  Proto_env.Mmio.write32 m ~offset:0 1

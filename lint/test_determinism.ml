@@ -1,0 +1,90 @@
+(* Determinism of the combined four-pass stats artifact and of the
+   rendered violation output: LINT_stats.json is diffed by the
+   suppression-drift gate and archived by CI, so two runs over the same
+   corpus must agree byte-for-byte, and the result must not depend on
+   the order the fixture directories happen to be listed in.
+
+   This assembles the combined document exactly as [main.exe --stats]
+   does — parsetree block plus one block per .cmt pass — except for the
+   [timing] block, which is wall-clock by definition and therefore
+   excluded from both the gate and this comparison. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry -> collect_ml acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+(* The combined stats document (sans timing) over all four fixture
+   corpora, with every pass's rendered violations appended. *)
+let combined ~order =
+  let files =
+    collect_ml [] "fixtures"
+    |> List.sort_uniq String.compare
+    |> List.map (fun p -> (p, read_file p))
+  in
+  let diags, stats = Cdna_lint.run files in
+  let flow = Cdna_flow.analyze "flow_fixtures" in
+  let dom = Cdna_dom.analyze "dom_fixtures" in
+  let proto =
+    let paths =
+      Chain.collect_cmts [] "proto_fixtures" |> List.sort String.compare
+    in
+    Cdna_proto.analyze_paths (order paths)
+  in
+  let json =
+    match Cdna_lint.stats_to_json stats with
+    | Sim.Json.Obj fields ->
+        Sim.Json.Obj
+          (fields
+          @ [
+              ("flow", Cdna_flow.report_to_json flow);
+              ("dom", Cdna_dom.report_to_json dom);
+              ("proto", Cdna_proto.report_to_json proto);
+            ])
+    | j -> j
+  in
+  let rendered =
+    List.map Cdna_lint.diag_to_string diags
+    @ List.map Chain.violation_to_string flow.Cdna_flow.violations
+    @ List.map Chain.violation_to_string dom.Cdna_dom.violations
+    @ List.map Chain.violation_to_string proto.Cdna_proto.violations
+  in
+  (Sim.Json.to_string json, String.concat "\n" rendered)
+
+let test_two_runs () =
+  let json_a, text_a = combined ~order:(fun p -> p) in
+  let json_b, text_b = combined ~order:(fun p -> p) in
+  Alcotest.(check string) "combined stats JSON byte-identical" json_a json_b;
+  Alcotest.(check string) "rendered violations byte-identical" text_a text_b;
+  Alcotest.(check bool) "corpus is non-trivial" true
+    (String.length text_a > 0)
+
+(* Feeding the .cmt corpus in reverse listing order must not change a
+   byte: discovery order is an accident of the filesystem. *)
+let test_listing_order () =
+  let json_a, text_a = combined ~order:(fun p -> p) in
+  let json_b, text_b = combined ~order:List.rev in
+  Alcotest.(check string) "stats JSON stable under listing order" json_a
+    json_b;
+  Alcotest.(check string) "rendering stable under listing order" text_a text_b
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "four-pass",
+        [
+          Alcotest.test_case "byte-identical across runs" `Quick test_two_runs;
+          Alcotest.test_case "stable under listing order" `Quick
+            test_listing_order;
+        ] );
+    ]

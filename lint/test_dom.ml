@@ -180,6 +180,24 @@ let test_totals () =
   Alcotest.(check int) "domain-shared annotations" 3 r.Cdna_dom.domain_shared;
   Alcotest.(check bool) "cmt corpus loaded" true (r.Cdna_dom.cmt_files >= 21)
 
+(* [main.exe --only DM1] semantics over this pass's reports: the bare
+   prefix and the full rule name both select, a non-prefix selects
+   nothing. *)
+let test_only_filter () =
+  let r = Lazy.force report in
+  let count only =
+    List.length
+      (List.filter
+         (fun v -> Chain.rule_matches ~only v.Cdna_dom.rule)
+         r.Cdna_dom.violations)
+  in
+  Alcotest.(check int) "DM1 prefix filter"
+    (count (Some "DM1-shared-mutable"))
+    (count (Some "DM1"));
+  Alcotest.(check bool) "DM1 selects something" true (count (Some "DM1") > 0);
+  Alcotest.(check int) "'DM' is not a rule prefix" 0 (count (Some "DM"));
+  Alcotest.(check int) "no filter keeps everything" 17 (count None)
+
 (* Byte-identical reports across runs: the JSON artifact is diffed by
    the suppression-drift gate, so ordering must be deterministic. *)
 let test_deterministic () =
@@ -227,6 +245,7 @@ let () =
             test_clean_fixtures;
           Alcotest.test_case "lattice class counts" `Quick test_classes;
           Alcotest.test_case "exact totals" `Quick test_totals;
+          Alcotest.test_case "--only rule filtering" `Quick test_only_filter;
           Alcotest.test_case "deterministic output" `Quick test_deterministic;
         ] );
     ]

@@ -123,6 +123,23 @@ let test_deterministic () =
     (List.map Cdna_flow.violation_to_string a.Cdna_flow.violations)
     (List.map Cdna_flow.violation_to_string b.Cdna_flow.violations)
 
+(* [main.exe --only T1] semantics over this pass's reports: the bare
+   prefix and the full rule name both select, a non-prefix selects
+   nothing. *)
+let test_only_filter () =
+  let r = Lazy.force report in
+  let count only =
+    List.length
+      (List.filter
+         (fun v -> Chain.rule_matches ~only v.Cdna_flow.rule)
+         r.Cdna_flow.violations)
+  in
+  Alcotest.(check int) "T1 prefix filter" 5 (count (Some "T1"));
+  Alcotest.(check int) "full rule name filter" 3
+    (count (Some "A6-transitive-alloc"));
+  Alcotest.(check int) "'T' is not a rule prefix" 0 (count (Some "T"));
+  Alcotest.(check int) "no filter keeps everything" 10 (count None)
+
 let () =
   Alcotest.run "cdna_flow"
     [
@@ -146,6 +163,7 @@ let () =
         [
           Alcotest.test_case "clean fixtures stay clean" `Quick test_clean_fixtures;
           Alcotest.test_case "exact totals" `Quick test_totals;
+          Alcotest.test_case "--only rule filtering" `Quick test_only_filter;
           Alcotest.test_case "deterministic output" `Quick test_deterministic;
         ] );
     ]

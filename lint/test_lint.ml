@@ -152,6 +152,26 @@ let test_lib_clean () =
       (List.map Cdna_lint.diag_to_string diags)
   end
 
+(* [main.exe --only D1] semantics over parsetree diagnostics: the bare
+   prefix and the full rule name both select, a non-prefix selects
+   nothing. *)
+let test_only_filter () =
+  let files =
+    List.map
+      (fun f -> ("lib/foo/" ^ f, read_file (Filename.concat "fixtures" f)))
+      [ "det_iter_unsorted.ml"; "det_poly_compare.ml" ]
+  in
+  let diags, _ = Cdna_lint.run files in
+  let count only =
+    List.length
+      (List.filter (fun d -> Chain.rule_matches ~only d.Cdna_lint.rule) diags)
+  in
+  Alcotest.(check int) "D1 prefix filter" 1 (count (Some "D1"));
+  Alcotest.(check int) "full rule name filter" 3
+    (count (Some "D2-poly-compare"));
+  Alcotest.(check int) "'D' is not a rule prefix" 0 (count (Some "D"));
+  Alcotest.(check int) "no filter keeps everything" 4 (count None)
+
 let () =
   Alcotest.run "cdna_lint"
     [
@@ -187,5 +207,8 @@ let () =
           Alcotest.test_case "hot in submodule" `Quick test_hot_submodule;
         ] );
       ( "tree",
-        [ Alcotest.test_case "lib violation-free" `Quick test_lib_clean ] );
+        [
+          Alcotest.test_case "lib violation-free" `Quick test_lib_clean;
+          Alcotest.test_case "--only rule filtering" `Quick test_only_filter;
+        ] );
     ]
